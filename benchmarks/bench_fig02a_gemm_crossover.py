@@ -1,0 +1,101 @@
+"""Fig. 2(a) — TLR GEMM vs dense GEMM on a single core, sweeping the rank.
+
+Paper: time-to-solution of both kernels and their ratio as the rank grows;
+TLR GEMM becomes *more* expensive than dense GEMM past a crossover rank,
+and TLR throughput is roughly 1/3 of dense GEMM in the mid-rank regime
+(memory-bound at small k, recompression-dominated at large k).
+
+Measured here with real kernels at b = 512 (the paper uses b ≈ 2700 on a
+Haswell core); the reproduction targets are the crossover's existence, its
+location at a moderate fraction of b, and the widening gap beyond it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_series, write_csv
+from repro.linalg import (
+    DenseTile,
+    LowRankTile,
+    TruncationRule,
+    gemm_dense,
+    gemm_lr,
+)
+
+B = 512
+RANKS = [8, 16, 32, 64, 96, 128, 192, 256]
+
+
+def _random_lr(rng, b, k):
+    return LowRankTile(rng.standard_normal((b, k)), rng.standard_normal((b, k)))
+
+
+def _time(fn, *args, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _dense_gemm_seconds(rng):
+    a = DenseTile(rng.standard_normal((B, B)))
+    b_ = DenseTile(rng.standard_normal((B, B)))
+    c = DenseTile(rng.standard_normal((B, B)))
+    return _time(lambda: gemm_dense(a, b_, c))
+
+
+def _tlr_gemm_seconds(rng, k):
+    rule = TruncationRule(eps=1e-8)
+    a, b_, c = (_random_lr(rng, B, k) for _ in range(3))
+    return _time(lambda: gemm_lr(a, b_, c, rule))
+
+
+def test_fig02a_gemm_crossover(benchmark, results_dir):
+    rng = np.random.default_rng(7)
+    t_dense = _dense_gemm_seconds(rng)
+
+    rows = []
+    for k in RANKS:
+        t_tlr = _tlr_gemm_seconds(rng, k)
+        # Modelled flops -> Gflop/s annotations like the figure's.
+        tlr_flops = 36 * B * k**2 + 157 * k**3
+        rows.append(
+            (
+                k,
+                round(t_tlr * 1e3, 3),
+                round(t_dense * 1e3, 3),
+                round(t_tlr / t_dense, 3),
+                round(tlr_flops / t_tlr / 1e9, 2),
+                round(2 * B**3 / t_dense / 1e9, 2),
+            )
+        )
+
+    headers = ["rank", "tlr_ms", "dense_ms", "ratio", "tlr_gflops", "dense_gflops"]
+    print()
+    print(
+        format_series(
+            "rank",
+            headers[1:],
+            rows,
+            title=f"Fig. 2a (b={B}, single core): TLR vs dense GEMM",
+        )
+    )
+    write_csv(results_dir / "fig02a_gemm_crossover.csv", headers, rows)
+
+    # Time one representative mid-rank TLR GEMM for the benchmark table.
+    rule = TruncationRule(eps=1e-8)
+    a, b_, c = (_random_lr(rng, B, 64) for _ in range(3))
+    benchmark(lambda: gemm_lr(a, b_, c, rule))
+
+    ratios = {k: r[3] for k, r in zip(RANKS, rows)}
+    # Crossover exists: cheap at small rank, more expensive than dense at
+    # large rank (paper's central observation motivating densification).
+    assert ratios[RANKS[0]] < 0.5
+    assert ratios[RANKS[-1]] > 1.0
+    # The gap widens monotonically-ish past the crossover.
+    assert ratios[256] > ratios[128]

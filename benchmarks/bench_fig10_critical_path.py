@@ -1,0 +1,79 @@
+"""Fig. 10 — how close execution is to the critical path.
+
+Paper: on 512 nodes, comparing the full factorization (All_kernels)
+against the same run with every low-rank update free (No_TLR_GEMM — "the
+entire Cholesky factorization except for all low rank updates", i.e. the
+critical path at distance BAND_SIZE).  Although the dense band is a tiny
+fraction of the flops, it contributes most of the time-to-solution, and
+the time ratio *drops* as the matrix size grows (band tiles are O(NT) but
+off-band tiles are O(NT²)).
+
+Replayed on a simulated 64-node machine, NT in {24, 40, 56, 72}.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_series, paper_rank_model, write_csv
+from repro.core import tune_band_size
+from repro.distribution import BandDistribution, ProcessGrid
+from repro.linalg import KernelClass
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+
+B, NODES, SPLIT = 1200, 64, 4
+NTS = [24, 40, 56, 72]
+
+TLR_GEMMS = {KernelClass.GEMM_LR, KernelClass.GEMM_LR_DENSE}
+
+
+def _run(nt):
+    model = paper_rank_model(B, accuracy=1e-8)
+    band = tune_band_size(model.to_rank_grid(nt), B).band_size
+    g = build_cholesky_graph(nt, band, B, model, recursive_split=SPLIT)
+    machine = MachineSpec(nodes=NODES)
+    dist = BandDistribution(ProcessGrid.squarest(NODES), band_size=band)
+    full = simulate(g, dist, machine)
+    crit = simulate(g, dist, machine, zero_cost_kernels=TLR_GEMMS)
+    tlr_flops = sum(
+        t.flops for t in g.tasks.values() if t.kernel in TLR_GEMMS
+    )
+    return full, crit, tlr_flops, g.total_flops()
+
+
+def test_fig10_critical_path(benchmark, results_dir):
+    rows = []
+    time_ratios, flop_ratios = [], []
+    for nt in NTS:
+        full, crit, tlr_flops, total = _run(nt)
+        tr = crit.makespan / full.makespan
+        fr = (total - tlr_flops) / total
+        time_ratios.append(tr)
+        flop_ratios.append(fr)
+        rows.append(
+            (nt * B, round(full.makespan, 2), round(crit.makespan, 2),
+             round(tr, 3), round(total / 1e12, 2),
+             round((total - tlr_flops) / 1e12, 2), round(fr, 3))
+        )
+
+    headers = ["matrix_size", "All_kernels_s", "No_TLR_GEMM_s", "time_ratio",
+               "total_Tflops", "No_TLR_GEMM_Tflops", "flop_ratio"]
+    print()
+    print(format_series("matrix_size", headers[1:], rows,
+                        title=f"Fig. 10 ({NODES} simulated nodes, b={B})"))
+    write_csv(results_dir / "fig10_critical_path.csv", headers, rows)
+
+    benchmark.pedantic(_run, args=(NTS[0],), rounds=1, iterations=1)
+
+    # ---- reproduction assertions ----------------------------------------
+    # The dense band + panel is a small fraction of the flops...
+    assert all(fr < 0.5 for fr in flop_ratios)
+    # ...but an outsized fraction of the time (the paper's central point):
+    # the time share always exceeds the flop share, by 1.5x+ once the
+    # off-band region dominates the flops.
+    assert all(tr > fr for tr, fr in zip(time_ratios, flop_ratios))
+    assert all(
+        tr > 1.5 * fr for tr, fr in zip(time_ratios[-2:], flop_ratios[-2:])
+    )
+    # The time ratio never grows with the matrix size...
+    assert time_ratios[-1] <= time_ratios[0] + 1e-6
+    # ...while the flop share of the band shrinks (O(NT) vs O(NT²) tiles).
+    assert flop_ratios[-1] < flop_ratios[0]

@@ -1,0 +1,75 @@
+"""Fig. 11 — CPU busy/idle time per process and achieved throughput.
+
+Paper: for N = 2.16M on 16 nodes, per-process busy/idle bars show some
+load imbalance across processes (static 2DBCDD + irregular ranks) but
+little imbalance within a process, with > 90% average CPU occupancy; the
+run achieves 4.88 Tflop/s ≈ 1/3 of the 16-node Linpack (TLR Cholesky is
+not compute-bound — most flops are TLR GEMMs running at ~1/3 dense speed,
+Fig. 2a).
+
+Replayed at NT = 96 on a 4-node x 16-core simulated machine, preserving
+the paper's tiles-per-core parallelism regime (hundreds of tiles per
+process).  Reproduction targets: high mean occupancy, visible but bounded
+inter-process imbalance, and achieved throughput a ~1/3-like fraction of
+the machine's dense peak.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    format_table,
+    occupancy_summary,
+    paper_rank_model,
+    write_csv,
+)
+from repro.core import tune_band_size
+from repro.distribution import BandDistribution, ProcessGrid
+from repro.linalg import KernelClass
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+
+B, NT, NODES, CORES = 1200, 96, 4, 16
+
+
+def _run():
+    model = paper_rank_model(B, accuracy=1e-8)
+    band = tune_band_size(model.to_rank_grid(NT), B).band_size
+    g = build_cholesky_graph(NT, band, B, model, recursive_split=4)
+    machine = MachineSpec(nodes=NODES, cores_per_node=CORES)
+    dist = BandDistribution(ProcessGrid.squarest(NODES), band_size=band)
+    return g, machine, simulate(g, dist, machine)
+
+
+def test_fig11_occupancy(benchmark, results_dir):
+    g, machine, res = benchmark.pedantic(_run, rounds=1, iterations=1)
+    s = occupancy_summary(res)
+
+    rows = [
+        (p, round(float(res.busy[p]), 1), round(float(s.idle_per_process[p]), 1),
+         round(float(res.occupancy[p]), 3))
+        for p in range(NODES)
+    ]
+    headers = ["process", "busy_core_s", "idle_core_s", "occupancy"]
+    peak = machine.total_cores * machine.rates.dense_gflops
+    print()
+    print(format_table(
+        headers, rows,
+        title=(f"Fig. 11 (NT={NT}, {NODES}x{CORES} cores): makespan="
+               f"{res.makespan:.1f}s, {s.achieved_gflops:.0f} Gflop/s "
+               f"= {s.achieved_gflops / peak:.2f} of dense peak")))
+    write_csv(results_dir / "fig11_occupancy.csv", headers, rows)
+
+    tlr_flops = sum(
+        t.flops for t in g.tasks.values()
+        if t.kernel in (KernelClass.GEMM_LR, KernelClass.GEMM_LR_DENSE)
+    )
+    print(f"TLR GEMM share of flops: {tlr_flops / g.total_flops():.2f}")
+
+    # ---- reproduction assertions ----------------------------------------
+    # Paper: >90% at ~800 tiles/core; our 24x-smaller tiles-per-core ratio
+    # lands high-but-lower.
+    assert s.mean_occupancy > 0.65, "high CPU occupancy (paper: >90%)"
+    assert s.imbalance < 0.4, "inter-process imbalance visible but bounded"
+    frac = s.achieved_gflops / peak
+    assert 0.1 < frac < 0.5, "throughput well below dense peak (paper: ~1/3)"
+    # The reason: most flops are TLR GEMMs (Fig. 10 + Fig. 2a chain).
+    assert tlr_flops / g.total_flops() > 0.5

@@ -1,0 +1,99 @@
+"""Fig. 12 — performance at scale: strong and weak scalability.
+
+Paper: time-to-solution for matrix sizes up to 11.88M on up to 2048
+nodes; each matrix size scales strongly with node count (better for
+larger matrices), each node count's curve shows weak scalability, and the
+per-node memory footprint stays far below capacity.
+
+Replayed on the simulator: NT in {32, 48, 64, 96} (matrix sizes 38k-115k
+at b = 1200) across 2-32 nodes — a 64x scale-down of both axes that
+preserves the tiles-per-node ratios of the paper's sweep.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    format_table,
+    paper_rank_model,
+    strong_scaling_efficiency,
+    write_csv,
+)
+from repro.core import tune_band_size
+from repro.distribution import BandDistribution, ProcessGrid
+from repro.matrix import BYTES_PER_ELEMENT
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+
+B = 1200
+NTS = [32, 48, 64, 96]
+NODE_COUNTS = [2, 4, 8, 16, 32]
+
+
+def _graph(nt, model):
+    band = tune_band_size(model.to_rank_grid(nt), B).band_size
+    return band, build_cholesky_graph(nt, band, B, model, recursive_split=4)
+
+
+def _memory_per_node_gb(model, nt, band, nodes):
+    """Dynamic footprint of the owned tiles, averaged per node."""
+    total = 0
+    for i in range(nt):
+        for j in range(i + 1):
+            if i - j < band:
+                total += B * B
+            else:
+                total += 2 * B * model.rank(i, j)
+    return total * BYTES_PER_ELEMENT / nodes / 2**30
+
+
+def test_fig12_scaling(benchmark, results_dir):
+    model = paper_rank_model(B, accuracy=1e-8)
+    rows = []
+    times: dict[int, dict[int, float]] = {}
+    for nt in NTS:
+        band, g = _graph(nt, model)
+        times[nt] = {}
+        for nodes in NODE_COUNTS:
+            machine = MachineSpec(nodes=nodes)
+            dist = BandDistribution(ProcessGrid.squarest(nodes), band_size=band)
+            res = simulate(g, dist, machine)
+            times[nt][nodes] = res.makespan
+            rows.append(
+                (nt * B, nodes, round(res.makespan, 2),
+                 round(res.achieved_gflops / 1e3, 2),
+                 round(_memory_per_node_gb(model, nt, band, nodes), 3))
+            )
+
+    headers = ["matrix_size", "nodes", "time_s", "Tflops", "mem_per_node_GB"]
+    print()
+    print(format_table(headers, rows, title=f"Fig. 12 (simulated, b={B})"))
+    write_csv(results_dir / "fig12_scaling.csv", headers, rows)
+
+    # Strong-scaling efficiency per matrix size.
+    eff_rows = []
+    for nt in NTS:
+        eff = strong_scaling_efficiency(times[nt])
+        eff_rows.append((nt * B, *[round(eff[n], 3) for n in NODE_COUNTS]))
+    print(format_table(
+        ["matrix_size", *[f"eff@{n}" for n in NODE_COUNTS]],
+        eff_rows, title="strong-scaling efficiency"))
+    write_csv(results_dir / "fig12_strong_efficiency.csv",
+              ["matrix_size", *[str(n) for n in NODE_COUNTS]], eff_rows)
+
+    benchmark.pedantic(_graph, args=(NTS[0], model), rounds=1, iterations=1)
+
+    # ---- reproduction assertions ----------------------------------------
+    # Strong scaling: more nodes never slower, and the largest size keeps
+    # scaling further out than the smallest.
+    for nt in NTS:
+        ts = [times[nt][n] for n in NODE_COUNTS]
+        assert all(b <= a * 1.02 for a, b in zip(ts, ts[1:]))
+    eff_small = strong_scaling_efficiency(times[NTS[0]])[NODE_COUNTS[-1]]
+    eff_large = strong_scaling_efficiency(times[NTS[-1]])[NODE_COUNTS[-1]]
+    assert eff_large > eff_small, "strong scaling improves with matrix size"
+    # Weak scalability: along the diagonal (both N and nodes growing) the
+    # time grows sub-linearly in the matrix size.
+    t_first = times[NTS[0]][NODE_COUNTS[1]]
+    t_last = times[NTS[-1]][NODE_COUNTS[-1]]
+    assert t_last < t_first * (NTS[-1] / NTS[0]) ** 2
+    # Far from memory capacity (paper: 9-12 GB of 128 GB).
+    assert all(r[4] < 16.0 for r in rows)

@@ -1,0 +1,111 @@
+"""Table II — PaRSEC-HiCMA-New vs PaRSEC-HiCMA-Prev, feature by feature.
+
+Paper rows: time-to-solution of (1) PaRSEC-HiCMA-Prev (pure TLR, band-1
+distribution, POTRF-only recursion), (2) + "Band-dense" (BAND-DENSE-TLR
+layout + hybrid band distribution), (3) + "Recursive kernels" (all dense
+band kernels recursive), on 64-512 nodes and N = 1.08M-3.24M, with total
+speedups of 5.2x-7.6x.
+
+Replayed on the discrete-event simulator at scaled size (NT = 56, b = 1200,
+paper-calibrated rank model at eps = 1e-8, nodes 8-64).  The simulator
+inherits the paper's Table I costs and the Fig. 2a-shaped kernel-rate
+model, so the *relative* configuration ranking and the speedup trend are
+the reproduction targets; absolute simulated seconds are not.
+
+Configuration mapping (all owner-computes over the lower triangle):
+
+=============  ==========  ======================  =====================
+config         band layout  distribution            recursion
+=============  ==========  ======================  =====================
+Prev           1           band(1) + 2DBCDD        POTRF only
+Band-dense     tuned B     band(B) + 2DBCDD        POTRF only
+Recursive      tuned B     band(B) + 2DBCDD        all region-(1)
+=============  ==========  ======================  =====================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table, paper_rank_model, write_csv
+from repro.core import tune_band_size
+from repro.distribution import BandDistribution, ProcessGrid
+from repro.linalg import KernelClass
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+
+B = 1200
+NT_SMALL, NT_LARGE = 56, 80  # stand-ins for N = 1.08M and 2.16M
+NODES = [8, 16, 32, 64]
+SPLIT = 4
+
+
+def _graphs(nt):
+    model = paper_rank_model(B, accuracy=1e-8)
+    rank_grid = model.to_rank_grid(nt)
+    band = tune_band_size(rank_grid, B).band_size
+    g_prev = build_cholesky_graph(
+        nt, 1, B, model, recursive_split=SPLIT,
+        recursive_kernels={KernelClass.POTRF_DENSE},
+    )
+    g_band = build_cholesky_graph(
+        nt, band, B, model, recursive_split=SPLIT,
+        recursive_kernels={KernelClass.POTRF_DENSE},
+    )
+    g_rec = build_cholesky_graph(nt, band, B, model, recursive_split=SPLIT)
+    return band, g_prev, g_band, g_rec
+
+
+def _simulate_row(nt, nodes, band, g_prev, g_band, g_rec):
+    machine = MachineSpec(nodes=nodes)
+    grid = ProcessGrid.squarest(nodes)
+    t_prev = simulate(g_prev, BandDistribution(grid, band_size=1), machine).makespan
+    t_band = simulate(g_band, BandDistribution(grid, band_size=band), machine).makespan
+    t_rec = simulate(g_rec, BandDistribution(grid, band_size=band), machine).makespan
+    return t_prev, t_band, t_rec
+
+
+def test_table2_state_of_the_art(benchmark, results_dir):
+    rows = []
+    speedups = []
+    cases = [(NT_SMALL, n) for n in NODES] + [(NT_LARGE, n) for n in NODES[2:]]
+    graphs_cache = {}
+    for nt, nodes in cases:
+        if nt not in graphs_cache:
+            graphs_cache[nt] = _graphs(nt)
+        band, g_prev, g_band, g_rec = graphs_cache[nt]
+        t_prev, t_band, t_rec = _simulate_row(nt, nodes, band, g_prev, g_band, g_rec)
+        speedups.append(t_prev / t_rec)
+        rows.append(
+            (nodes, nt * B, round(t_prev, 2), round(t_band, 2), round(t_rec, 2),
+             f"{t_prev / t_rec:.2f}x")
+        )
+
+    headers = ["nodes", "matrix_size", "Prev_s", "Band-dense_s",
+               "Recursive_s", "total_speedup"]
+    print()
+    print(format_table(
+        headers, rows,
+        title=f"Table II (simulated; b={B}, tuned band={graphs_cache[NT_SMALL][0]}, "
+              f"rank model eps=1e-8)"))
+    write_csv(results_dir / "table2_state_of_art.csv", headers, rows)
+
+    # Benchmark unit: one Prev-config simulation at the smallest case.
+    band, g_prev, _, _ = graphs_cache[NT_SMALL]
+    benchmark.pedantic(
+        _simulate_row,
+        args=(NT_SMALL, NODES[0], band, g_prev, g_prev, g_prev),
+        rounds=1, iterations=1,
+    )
+
+    # ---- reproduction assertions ----------------------------------------
+    for nodes, _, tp, tb, tr, _ in rows:
+        # Each feature helps, in the paper's order: Prev > Band-dense >
+        # +Recursive kernels.
+        assert tb < tp, f"band-dense must beat Prev at {nodes} nodes"
+        assert tr < tb * 1.001, f"recursion must not hurt at {nodes} nodes"
+    # The major improvement comes from Band-dense (paper's observation).
+    first = rows[0]
+    assert first[2] / first[3] > 1.5
+    # Total speedups land in the paper's multi-fold regime (5.2-7.6x).
+    assert min(speedups) > 3.0
+    assert max(speedups) < 12.0

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""MLE parameter estimation for a 3D environmental field (Eq. 1).
+
+The paper's motivating application: estimate the Matérn parameters of a
+geospatial field (e.g. wind speed or temperature varying with altitude)
+by maximizing the Gaussian log-likelihood, where every likelihood
+evaluation requires a Cholesky factorization of the covariance — the
+operation the whole paper accelerates.
+
+This example synthesizes measurements from a known ground truth
+θ = (1.0, 0.1, 0.5), then recovers θ1 (variance) and θ2 (correlation
+length) by TLR-accelerated maximum likelihood.
+
+Run:  python examples/mle_3d_geostatistics.py
+"""
+
+from __future__ import annotations
+
+from repro import TruncationRule, st_3d_exp_problem
+from repro.core import LikelihoodEvaluator, fit_mle
+
+TRUE_VARIANCE = 1.0
+TRUE_LENGTH = 0.1
+
+
+def main() -> None:
+    # Ground-truth field: 1331 locations (11^3 grid) in the unit cube.
+    n, tile_size = 1331, 121
+    problem = st_3d_exp_problem(n, tile_size, seed=42)
+    z = problem.sample_measurements(seed=7)
+    print(f"synthetic field: n={n}, true theta=({TRUE_VARIANCE}, {TRUE_LENGTH}, 0.5)")
+
+    # Each candidate theta triggers: assemble -> compress -> TLR Cholesky
+    # -> logdet + quadratic form.  eps=1e-6 is plenty for optimization.
+    evaluator = LikelihoodEvaluator(
+        points=problem.points,
+        z=z,
+        tile_size=tile_size,
+        rule=TruncationRule(eps=1e-6),
+        band_size=1,
+    )
+    result = fit_mle(evaluator, initial=(0.5, 0.05), max_iterations=80)
+
+    print(f"estimated variance           = {result.variance:.4f}")
+    print(f"estimated correlation length = {result.correlation_length:.4f}")
+    print(f"log-likelihood at optimum    = {result.log_likelihood:.2f}")
+    print(f"covariance factorizations    = {result.n_evaluations}")
+
+    # With ~1.3k observations the estimates land in the right neighbourhood.
+    assert 0.3 < result.variance < 3.0
+    assert 0.05 < result.correlation_length < 0.25
+    print("OK — estimates in the expected neighbourhood of the truth")
+
+
+if __name__ == "__main__":
+    main()

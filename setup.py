@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` keeps working on offline machines whose pip lacks the
+``wheel`` package required by PEP 660 editable builds (pip then falls back
+to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

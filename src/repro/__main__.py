@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four focused commands mirroring the library's main entry points:
+
+* ``info``      — version and subsystem inventory;
+* ``demo``      — compress → auto-tune → factorize → solve, with a report;
+* ``tune``      — run Algorithm 1 on a problem and print its cost table;
+* ``simulate``  — replay a Cholesky DAG on the machine simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print(__doc__.splitlines()[0])
+    print()
+    print("subsystems:")
+    for name, what in [
+        ("repro.geometry", "point clouds, Morton ordering, distances"),
+        ("repro.statistics", "Matérn kernels, covariance problems (STARS-H role)"),
+        ("repro.linalg", "tiles, compression, HCORE kernels, flop models"),
+        ("repro.matrix", "BAND-DENSE-TLR containers, memory accounting, I/O"),
+        ("repro.distribution", "2D/1D block-cyclic + hybrid band layouts"),
+        ("repro.runtime", "PTG/DTD graphs, executor, machine simulator"),
+        ("repro.core", "factorization, auto-tuner, solves, MLE, API"),
+        ("repro.analysis", "rank models, metrics, Gantt, reporting"),
+    ]:
+        print(f"  {name:<20} {what}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import TLRSolver, st_3d_exp_problem
+
+    print(f"generating st-3D-exp problem: n={args.n}, tile={args.tile}")
+    problem = st_3d_exp_problem(args.n, args.tile, seed=args.seed)
+    solver = TLRSolver.from_problem(problem, accuracy=args.accuracy)
+    mn, avg, mx = solver.matrix.rank_stats()
+    print(f"compressed at eps={args.accuracy:g}: band={solver.band_size}, "
+          f"ranks {mn}/{avg:.1f}/{mx}")
+
+    t0 = time.perf_counter()
+    rep = solver.factorize()
+    print(f"factorized in {time.perf_counter() - t0:.2f}s "
+          f"({rep.counter.total / 1e9:.2f} modelled Gflop)")
+
+    rng = np.random.default_rng(args.seed)
+    x_true = rng.standard_normal(args.n)
+    rhs = np.asarray(problem.dense() @ x_true)
+    x = solver.solve(rhs)
+    err = float(np.linalg.norm(x - x_true) / np.linalg.norm(x_true))
+    print(f"solve relative error: {err:.2e}")
+    mem = solver.memory_report()
+    print(f"memory: static {mem.static_bytes / 2**20:.1f} MiB, dynamic "
+          f"{mem.dynamic_bytes / 2**20:.1f} MiB "
+          f"({mem.reduction_factor:.2f}x)")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro import TruncationRule, st_3d_exp_problem
+    from repro.analysis import format_table
+    from repro.core import tune_band_size
+    from repro.matrix import BandTLRMatrix
+
+    problem = st_3d_exp_problem(args.n, args.tile, seed=args.seed)
+    matrix = BandTLRMatrix.from_problem(
+        problem, TruncationRule(eps=args.accuracy), band_size=1
+    )
+    decision = tune_band_size(
+        matrix.rank_grid(), args.tile, fluctuation=args.fluctuation
+    )
+    rows = [
+        (c.band_id, c.maxrank, round(c.dense_flops / 1e9, 2),
+         round(c.tlr_flops / 1e9, 2))
+        for c in decision.costs[: args.rows]
+    ]
+    print(format_table(
+        ["band_id", "maxrank", "dense_Gflop", "tlr_Gflop"], rows,
+        title=f"Algorithm 1 cost model (n={args.n}, b={args.tile}, "
+              f"eps={args.accuracy:g})"))
+    print(f"tuned BAND_SIZE = {decision.band_size} "
+          f"(fluctuation={args.fluctuation}, box={decision.band_size_range})")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        format_table,
+        gantt,
+        occupancy_summary,
+        paper_rank_model,
+    )
+    from repro.core import tune_band_size
+    from repro.distribution import BandDistribution, ProcessGrid
+    from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+
+    model = paper_rank_model(args.tile, accuracy=args.accuracy)
+    band = tune_band_size(model.to_rank_grid(args.nt), args.tile).band_size
+    g = build_cholesky_graph(
+        args.nt, band, args.tile, model,
+        recursive_split=args.split if args.split > 1 else None,
+    )
+    machine = MachineSpec(
+        nodes=args.nodes, cores_per_node=args.cores, gpus_per_node=args.gpus
+    )
+    dist = BandDistribution(ProcessGrid.squarest(args.nodes), band_size=band)
+    res = simulate(
+        g, dist, machine,
+        scheduler=args.scheduler,
+        work_stealing=args.steal,
+        collect_trace=args.gantt,
+    )
+    s = occupancy_summary(res)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("tasks", g.n_tasks),
+            ("tuned band", band),
+            ("makespan (s)", round(res.makespan, 3)),
+            ("mean occupancy", round(s.mean_occupancy, 3)),
+            ("imbalance", round(s.imbalance, 3)),
+            ("achieved Gflop/s", round(res.achieved_gflops, 1)),
+            ("gpu busy (s)",
+             0.0 if res.gpu_busy is None else round(float(res.gpu_busy.sum()), 2)),
+            ("messages", res.comm.messages),
+            ("GiB sent", round(res.comm.bytes_sent / 2**30, 3)),
+        ],
+        title=f"simulated NT={args.nt}, b={args.tile} on {args.nodes}x{args.cores} cores",
+    ))
+    if args.gantt:
+        print()
+        print(gantt(res, width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="BAND-DENSE-TLR Cholesky with a rank-aware task runtime",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and subsystem inventory")
+
+    d = sub.add_parser("demo", help="end-to-end compress/tune/factorize/solve")
+    d.add_argument("--n", type=int, default=2048)
+    d.add_argument("--tile", type=int, default=128)
+    d.add_argument("--accuracy", type=float, default=1e-8)
+    d.add_argument("--seed", type=int, default=0)
+
+    t = sub.add_parser("tune", help="run the BAND_SIZE auto-tuner")
+    t.add_argument("--n", type=int, default=4050)
+    t.add_argument("--tile", type=int, default=270)
+    t.add_argument("--accuracy", type=float, default=1e-4)
+    t.add_argument("--fluctuation", type=float, default=0.67)
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--rows", type=int, default=10)
+
+    s = sub.add_parser("simulate", help="replay a Cholesky DAG on the simulator")
+    s.add_argument("--nt", type=int, default=48)
+    s.add_argument("--tile", type=int, default=1200)
+    s.add_argument("--accuracy", type=float, default=1e-8)
+    s.add_argument("--nodes", type=int, default=16)
+    s.add_argument("--cores", type=int, default=31)
+    s.add_argument("--split", type=int, default=4)
+    s.add_argument("--scheduler", choices=["priority", "fifo", "lifo"],
+                   default="priority")
+    s.add_argument("--steal", action="store_true",
+                   help="enable inter-process work stealing")
+    s.add_argument("--gpus", type=int, default=0,
+                   help="accelerators per node for the dense band")
+    s.add_argument("--gantt", action="store_true", help="print a text Gantt")
+    s.add_argument("--width", type=int, default=100)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "demo": _cmd_demo,
+        "tune": _cmd_tune,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

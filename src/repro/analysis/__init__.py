@@ -1,0 +1,50 @@
+"""Analysis & reporting: rank structure, performance metrics, tables."""
+
+from .feasibility import (
+    FeasibilityReport,
+    footprint_per_node_gb,
+    max_feasible_matrix_size,
+)
+from .gantt import gantt, utilization_timeline
+from .metrics import (
+    OccupancySummary,
+    occupancy_summary,
+    panel_release_gain,
+    speedup,
+    strong_scaling_efficiency,
+    weak_scaling_efficiency,
+)
+from .ranks import (
+    RankModel,
+    RankStats,
+    paper_rank_model,
+    rank_ratios,
+    rank_stats,
+    render_rank_grid,
+)
+from .tracing import export_chrome_trace
+from .report import format_series, format_table, write_csv
+
+__all__ = [
+    "FeasibilityReport",
+    "footprint_per_node_gb",
+    "max_feasible_matrix_size",
+    "gantt",
+    "utilization_timeline",
+    "export_chrome_trace",
+    "RankModel",
+    "RankStats",
+    "rank_stats",
+    "rank_ratios",
+    "render_rank_grid",
+    "paper_rank_model",
+    "OccupancySummary",
+    "occupancy_summary",
+    "panel_release_gain",
+    "speedup",
+    "strong_scaling_efficiency",
+    "weak_scaling_efficiency",
+    "format_table",
+    "format_series",
+    "write_csv",
+]

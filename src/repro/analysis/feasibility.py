@@ -1,0 +1,139 @@
+"""Memory-feasibility analysis: the largest problem a machine can hold.
+
+Section VIII-E: "PaRSEC-HiCMA-Prev could factorize matrix sizes up to
+3.24M on 512 nodes ... because of the memory limit per node 128 GB",
+while the dynamic designation pushes far beyond (Section VIII-F reports
+9-12 GB/node at 8.64M).  These helpers compute the modelled per-node
+footprint of a matrix under either allocation scheme and search for the
+maximum tile count that fits a machine — regenerating the paper's
+"largest solvable size" comparison without allocating anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..matrix.memory import BYTES_PER_ELEMENT
+from ..runtime.machine import MachineSpec
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_positive_int
+from .ranks import RankModel
+
+__all__ = ["footprint_per_node_gb", "max_feasible_matrix_size", "FeasibilityReport"]
+
+
+def footprint_per_node_gb(
+    ntiles: int,
+    model: RankModel,
+    machine: MachineSpec,
+    *,
+    band_size: int = 1,
+    static_maxrank: int | None = None,
+    growth: bool = True,
+) -> float:
+    """Modelled per-node memory (GB) of the factorized matrix.
+
+    Parameters
+    ----------
+    ntiles:
+        Tile count per dimension.
+    model:
+        Rank field; :meth:`RankModel.final` is used when ``growth`` so the
+        footprint includes factorization-time rank growth (the paper's
+        before/after distinction in Fig. 8a).
+    machine:
+        Supplies the node count (tiles spread evenly, the block-cyclic
+        ideal).
+    band_size:
+        Dense band width.
+    static_maxrank:
+        When given, compressed tiles are accounted at the static
+        descriptor size ``2·maxrank·b`` (PaRSEC-HiCMA-Prev); otherwise at
+        their exact rank (New).
+    """
+    check_positive_int("ntiles", ntiles)
+    b = model.tile_size
+    # The model's rank depends only on the sub-diagonal distance, so the
+    # O(NT²) tile sum collapses to an O(NT) sweep over sub-diagonals
+    # (NT - d tiles at distance d).
+    total = 0
+    for d in range(ntiles):
+        count = ntiles - d
+        if d < band_size:
+            total += count * b * b
+        elif static_maxrank is not None:
+            total += count * 2 * b * static_maxrank
+        else:
+            k = model.final(d, 0) if growth else model.rank(d, 0)
+            total += count * 2 * b * k
+    return total * BYTES_PER_ELEMENT / machine.nodes / 2**30
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of the maximum-size search.
+
+    Attributes
+    ----------
+    max_ntiles:
+        Largest NT whose footprint fits the per-node capacity.
+    max_matrix_size:
+        ``max_ntiles * b``.
+    footprint_gb:
+        Per-node GB at that size.
+    """
+
+    max_ntiles: int
+    max_matrix_size: int
+    footprint_gb: float
+
+
+def max_feasible_matrix_size(
+    model: RankModel,
+    machine: MachineSpec,
+    *,
+    band_size: int = 1,
+    static_maxrank: int | None = None,
+    capacity_fraction: float = 0.8,
+    nt_cap: int = 4096,
+) -> FeasibilityReport:
+    """Largest matrix (in tiles) fitting ``capacity_fraction`` of memory.
+
+    Binary-searches NT; the footprint is monotone in NT, and a fraction
+    below 1.0 leaves headroom for vectors, communication buffers, and the
+    transient recompression stacks.
+    """
+    if not (0.0 < capacity_fraction <= 1.0):
+        raise ConfigurationError(
+            f"capacity_fraction must be in (0, 1], got {capacity_fraction}"
+        )
+    budget = machine.memory_per_node_GB * capacity_fraction
+
+    def fits(nt: int) -> bool:
+        return (
+            footprint_per_node_gb(
+                nt, model, machine,
+                band_size=band_size, static_maxrank=static_maxrank,
+            )
+            <= budget
+        )
+
+    if not fits(1):
+        return FeasibilityReport(0, 0, 0.0)
+    lo, hi = 1, 2
+    while hi <= nt_cap and fits(hi):
+        lo, hi = hi, hi * 2
+    hi = min(hi, nt_cap)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if fits(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return FeasibilityReport(
+        max_ntiles=lo,
+        max_matrix_size=lo * model.tile_size,
+        footprint_gb=footprint_per_node_gb(
+            lo, model, machine, band_size=band_size, static_maxrank=static_maxrank
+        ),
+    )

@@ -1,0 +1,113 @@
+"""Text-mode execution-trace rendering (Gantt charts & timelines).
+
+The paper's Fig. 11 is built from execution traces; the simulator can
+collect the same per-task records (``collect_trace=True``).  These
+helpers turn a trace into terminal-friendly views:
+
+* :func:`gantt` — one row per (process, core): time bucketed into
+  columns, each cell showing the kernel class that dominated the bucket;
+* :func:`utilization_timeline` — busy-core counts over time, the classic
+  "how full was the machine" curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.simulator import SimResult
+from ..runtime.task import TaskKind
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["gantt", "utilization_timeline"]
+
+#: One-character glyph per task class for the Gantt cells.
+_GLYPH = {
+    TaskKind.POTRF: "P",
+    TaskKind.TRSM: "T",
+    TaskKind.SYRK: "S",
+    TaskKind.GEMM: "g",
+}
+
+
+def _require_trace(result: SimResult) -> list[tuple]:
+    if result.trace is None:
+        raise ConfigurationError(
+            "result has no trace; simulate with collect_trace=True"
+        )
+    return result.trace
+
+
+def gantt(result: SimResult, *, width: int = 80, max_rows: int = 32) -> str:
+    """Render the trace as one text row per busy process-core.
+
+    Tasks are assigned to core lanes greedily in start order (the
+    simulator doesn't pin tasks to cores — lanes are a faithful
+    reconstruction since core counts are respected).  ``.`` marks idle
+    buckets; letters mark the kind of the task covering the bucket
+    (``P``\\ OTRF, ``T``\\ RSM, ``S``\\ YRK, ``g``\\ EMM).
+    """
+    trace = _require_trace(result)
+    if not trace or result.makespan <= 0:
+        return "(empty trace)"
+    width = max(10, width)
+
+    # Greedy lane assignment per process.
+    lanes: dict[int, list[float]] = {}  # proc -> lane end times
+    rows: dict[tuple[int, int], list[tuple]] = {}
+    for tid, proc, start, end in sorted(trace, key=lambda r: (r[1], r[2])):
+        ends = lanes.setdefault(proc, [])
+        for lane, t_end in enumerate(ends):
+            if start >= t_end - 1e-15:
+                ends[lane] = end
+                break
+        else:
+            lane = len(ends)
+            ends.append(end)
+        rows.setdefault((proc, lane), []).append((tid, start, end))
+
+    dt = result.makespan / width
+    out = []
+    for (proc, lane) in sorted(rows)[:max_rows]:
+        cells = ["."] * width
+        for tid, start, end in rows[(proc, lane)]:
+            kind = tid[0] if isinstance(tid[0], TaskKind) else None
+            glyph = _GLYPH.get(kind, "#")
+            c0 = min(int(start / dt), width - 1)
+            c1 = min(int(max(end - 1e-15, start) / dt), width - 1)
+            for c in range(c0, c1 + 1):
+                cells[c] = glyph
+        out.append(f"p{proc:<3}c{lane:<3}|" + "".join(cells) + "|")
+    if len(rows) > max_rows:
+        out.append(f"... ({len(rows) - max_rows} more lanes)")
+    out.append(
+        f"0{'':.<{width - 2}}{result.makespan:.3g}s   "
+        "P=potrf T=trsm S=syrk g=gemm .=idle"
+    )
+    return "\n".join(out)
+
+
+def utilization_timeline(
+    result: SimResult, *, buckets: int = 60
+) -> tuple[np.ndarray, np.ndarray]:
+    """Busy-core count per time bucket.
+
+    Returns
+    -------
+    (times, busy):
+        Bucket midpoints and the average number of busy cores in each.
+    """
+    trace = _require_trace(result)
+    buckets = max(1, buckets)
+    edges = np.linspace(0.0, max(result.makespan, 1e-300), buckets + 1)
+    busy = np.zeros(buckets)
+    for _, _, start, end in trace:
+        if end <= start:
+            continue
+        lo = np.searchsorted(edges, start, side="right") - 1
+        hi = np.searchsorted(edges, end, side="left")
+        for bkt in range(max(lo, 0), min(hi, buckets)):
+            overlap = min(end, edges[bkt + 1]) - max(start, edges[bkt])
+            if overlap > 0:
+                busy[bkt] += overlap / (edges[bkt + 1] - edges[bkt])
+    mids = 0.5 * (edges[:-1] + edges[1:])
+    return mids, busy

@@ -1,0 +1,121 @@
+"""Performance metrics derived from simulated or real executions.
+
+Helpers behind the evaluation figures: occupancy summaries (Fig. 11),
+panel-release comparisons (Fig. 9), speedup tables (Table II), and
+strong/weak scaling efficiency (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..runtime.simulator import SimResult
+from ..utils.exceptions import ConfigurationError
+
+__all__ = [
+    "OccupancySummary",
+    "occupancy_summary",
+    "panel_release_gain",
+    "speedup",
+    "strong_scaling_efficiency",
+    "weak_scaling_efficiency",
+]
+
+
+@dataclass(frozen=True)
+class OccupancySummary:
+    """Busy/idle decomposition of a simulated run (Fig. 11).
+
+    Attributes
+    ----------
+    makespan:
+        Simulated seconds.
+    busy_per_process:
+        Core-seconds of work per process.
+    idle_per_process:
+        Core-seconds of idleness per process.
+    mean_occupancy:
+        Average fraction of core time spent busy.
+    imbalance:
+        ``max(busy) / mean(busy) - 1`` — load imbalance across processes
+        (0 = perfectly balanced).
+    achieved_gflops:
+        Aggregate modelled throughput.
+    """
+
+    makespan: float
+    busy_per_process: np.ndarray
+    idle_per_process: np.ndarray
+    mean_occupancy: float
+    imbalance: float
+    achieved_gflops: float
+
+
+def occupancy_summary(result: SimResult) -> OccupancySummary:
+    """Summarize per-process busy/idle time from a simulation result."""
+    capacity = result.cores_per_node * result.makespan
+    idle = np.maximum(capacity - result.busy, 0.0)
+    mean_busy = float(result.busy.mean()) if result.busy.size else 0.0
+    imbalance = (
+        float(result.busy.max() / mean_busy - 1.0) if mean_busy > 0 else 0.0
+    )
+    return OccupancySummary(
+        makespan=result.makespan,
+        busy_per_process=result.busy,
+        idle_per_process=idle,
+        mean_occupancy=float(result.occupancy.mean()),
+        imbalance=imbalance,
+        achieved_gflops=result.achieved_gflops,
+    )
+
+
+def panel_release_gain(
+    baseline: SimResult, improved: SimResult
+) -> np.ndarray:
+    """Relative panel-release advance of ``improved`` over ``baseline``.
+
+    Entry ``k`` is ``(t_base[k] - t_new[k]) / t_base[k]`` — the fraction of
+    the baseline's release time saved for panel ``k`` (Fig. 9 shows every
+    panel released significantly earlier in PaRSEC-HiCMA-New).
+    """
+    tb = np.asarray(baseline.panel_done, dtype=np.float64)
+    tn = np.asarray(improved.panel_done, dtype=np.float64)
+    if tb.shape != tn.shape:
+        raise ConfigurationError(
+            f"panel counts differ: {tb.shape} vs {tn.shape}"
+        )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gain = np.where(tb > 0, (tb - tn) / tb, 0.0)
+    return gain
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """Classic speedup ratio; guards division by zero."""
+    if improved_seconds <= 0:
+        raise ConfigurationError("improved time must be positive")
+    return baseline_seconds / improved_seconds
+
+
+def strong_scaling_efficiency(
+    times: dict[int, float], *, base_nodes: int | None = None
+) -> dict[int, float]:
+    """Strong-scaling efficiency ``T(p0)·p0 / (T(p)·p)`` per node count."""
+    if not times:
+        raise ConfigurationError("no timings supplied")
+    p0 = base_nodes if base_nodes is not None else min(times)
+    t0 = times[p0]
+    return {p: (t0 * p0) / (t * p) for p, t in sorted(times.items())}
+
+
+def weak_scaling_efficiency(
+    times: dict[int, float], *, base_nodes: int | None = None
+) -> dict[int, float]:
+    """Weak-scaling efficiency ``T(p0) / T(p)`` per node count
+    (work per node held fixed by the caller)."""
+    if not times:
+        raise ConfigurationError("no timings supplied")
+    p0 = base_nodes if base_nodes is not None else min(times)
+    t0 = times[p0]
+    return {p: t0 / t for p, t in sorted(times.items())}

@@ -1,0 +1,78 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting uniform and also write CSV next
+to the printed output so results are machine-readable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["format_table", "write_csv", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are formatted with ``floatfmt``; everything else with ``str``.
+    """
+    if any(len(r) != len(headers) for r in rows):
+        raise ConfigurationError("row length does not match header length")
+
+    def fmt(x) -> str:
+        if isinstance(x, bool):
+            return str(x)
+        if isinstance(x, float):
+            return format(x, floatfmt)
+        return str(x)
+
+    cells = [[fmt(x) for x in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write(sep + "\n")
+    for r in cells:
+        out.write(" | ".join(c.rjust(w) for c, w in zip(r, widths)) + "\n")
+    return out.getvalue()
+
+
+def format_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Sequence[tuple],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an (x, y1, y2, ...) series as a table — a text 'figure'."""
+    return format_table([x_label, *y_labels], points, title=title)
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]
+) -> Path:
+    """Write a results CSV, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,143 @@
+"""High-level user API: compress → auto-tune → factorize → solve.
+
+:class:`TLRSolver` packages the whole PaRSEC-HiCMA-New pipeline behind the
+smallest possible surface::
+
+    from repro import TLRSolver, st_3d_exp_problem
+
+    problem = st_3d_exp_problem(n=4096, tile_size=256)
+    solver = TLRSolver.from_problem(problem, accuracy=1e-8)   # auto-tunes BAND_SIZE
+    solver.factorize()
+    x = solver.solve(b)
+    ll = solver.log_likelihood(z)
+
+Every stage is also available à la carte through the sub-modules for users
+who need the pieces (benchmarks do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..linalg.compression import TruncationRule
+from ..matrix.memory import MemoryReport, footprint_report
+from ..matrix.tlr_matrix import BandTLRMatrix
+from ..statistics.problem import CovarianceProblem
+from ..utils.exceptions import ConfigurationError
+from .autotuner import BandSizeDecision, autotune_matrix
+from .factorize import FactorizationReport, tlr_cholesky
+from .mle import log_likelihood
+from .solve import log_det, solve_spd
+
+__all__ = ["TLRSolver"]
+
+
+@dataclass
+class TLRSolver:
+    """End-to-end TLR Cholesky solver with BAND_SIZE auto-tuning.
+
+    Attributes
+    ----------
+    matrix:
+        The compressed (and, after :meth:`factorize`, factorized) matrix.
+    problem:
+        The generating covariance problem (needed for band regeneration).
+    decision:
+        Auto-tuner outcome, or ``None`` when a band size was forced.
+    report:
+        Factorization statistics once :meth:`factorize` has run.
+    """
+
+    matrix: BandTLRMatrix
+    problem: CovarianceProblem | None = None
+    decision: BandSizeDecision | None = None
+    report: FactorizationReport | None = None
+    _factorized: bool = field(default=False, repr=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_problem(
+        cls,
+        problem: CovarianceProblem,
+        accuracy: float = 1e-8,
+        *,
+        band_size: int | str = "auto",
+        fluctuation: float = 0.67,
+        maxrank: int | None = None,
+    ) -> "TLRSolver":
+        """Compress a covariance problem, auto-tuning the dense band.
+
+        Parameters
+        ----------
+        problem:
+            The covariance problem to solve.
+        accuracy:
+            Compression threshold ε (the paper's experiments use 1e-8
+            down to 1e-3).
+        band_size:
+            ``"auto"`` runs Algorithm 1 (generate at band 1 → tune →
+            regenerate); an integer forces that band width.
+        fluctuation:
+            Auto-tuner densification threshold (paper window [0.67, 1]).
+        maxrank:
+            Optional hard rank cap for compressions (HiCMA-Prev's static
+            descriptor uses ``b/2``); ``None`` = uncapped dynamic ranks.
+        """
+        rule = TruncationRule(eps=accuracy, maxrank=maxrank)
+        if band_size == "auto":
+            matrix = BandTLRMatrix.from_problem(problem, rule, band_size=1)
+            matrix, decision = autotune_matrix(
+                matrix, problem, fluctuation=fluctuation
+            )
+            return cls(matrix=matrix, problem=problem, decision=decision)
+        if not isinstance(band_size, int):
+            raise ConfigurationError(
+                f"band_size must be 'auto' or an int, got {band_size!r}"
+            )
+        matrix = BandTLRMatrix.from_problem(problem, rule, band_size=band_size)
+        return cls(matrix=matrix, problem=problem)
+
+    # ------------------------------------------------------------------
+    @property
+    def band_size(self) -> int:
+        """The dense band width in effect."""
+        return self.matrix.band_size
+
+    @property
+    def is_factorized(self) -> bool:
+        return self._factorized
+
+    def factorize(self) -> FactorizationReport:
+        """Run the BAND-DENSE-TLR Cholesky in place."""
+        if self._factorized:
+            raise ConfigurationError("matrix is already factorized")
+        self.report = tlr_cholesky(self.matrix)
+        self._factorized = True
+        return self.report
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``Σ x = rhs`` (requires :meth:`factorize` first)."""
+        self._require_factor()
+        return solve_spd(self.matrix, rhs)
+
+    def log_likelihood(self, z: np.ndarray) -> float:
+        """Gaussian log-likelihood of measurements ``z`` (Eq. 1)."""
+        self._require_factor()
+        return log_likelihood(self.matrix, z)
+
+    def log_det(self) -> float:
+        """``log|Σ|`` from the factor's diagonal."""
+        self._require_factor()
+        return log_det(self.matrix)
+
+    def memory_report(self, maxrank: int | None = None) -> MemoryReport:
+        """Static-vs-dynamic footprint comparison (Fig. 8)."""
+        return footprint_report(self.matrix, maxrank=maxrank)
+
+    def _require_factor(self) -> None:
+        if not self._factorized:
+            raise ConfigurationError(
+                "call factorize() before solving or evaluating likelihoods"
+            )

@@ -1,0 +1,235 @@
+"""BAND_SIZE auto-tuning performance model (Algorithm 1, Section V-B).
+
+The tuner minimizes the modelled flop total by deciding, one sub-diagonal
+at a time, whether its tiles are cheaper processed dense or compressed:
+
+* a tile at sub-diagonal distance ``d`` receives (over the whole
+  factorization) one TRSM and — at position ``j`` within the
+  sub-diagonal — ``j`` GEMM updates;
+* the dense cost uses Table I's ``(1)-TRSM``/``(1)-GEMM`` rows; the TLR
+  cost uses ``(4)-TRSM``/``(6)-GEMM`` with the sub-diagonal's *maxrank*
+  from the post-compression rank distribution (the quantity only known at
+  runtime — the reason the rank information must be escalated to the
+  runtime at all);
+* sub-diagonal ``d`` is rolled back to dense while
+  ``dense_flops(d) <= fluctuation * tlr_flops(d)``; ``BAND_SIZE`` is the
+  first ``d`` (1-based, diagonal included) that fails the test.
+
+The paper sweeps ``fluctuation ∈ [0.67, 1]`` (the boxes in Figs. 6a/6b and
+13a) and picks the *minimum* band size of that range — i.e. the
+conservative ``fluctuation = 0.67`` — because ranks grow during the
+factorization and near-band TRSM/SYRK flops increase when densifying
+(Section VIII-B); both push against aggressive densification.
+
+In the paper the tuning itself is parallelized with an artificial 1DBCDD
+so every process evaluates a slice of each sub-diagonal; here the model is
+a closed-form sum per sub-diagonal, microseconds of work (its cost is
+reported by the Fig. 6d benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg.flops import (
+    flops_gemm_dense,
+    flops_gemm_lr,
+    flops_trsm_dense,
+    flops_trsm_lr,
+)
+from ..matrix.tlr_matrix import BandTLRMatrix
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_positive_int
+
+__all__ = [
+    "SubdiagonalCost",
+    "subdiagonal_maxranks",
+    "subdiagonal_costs",
+    "tune_band_size",
+    "BandSizeDecision",
+]
+
+#: The paper's fluctuation window.
+FLUCTUATION_RANGE = (0.67, 1.0)
+
+
+@dataclass(frozen=True)
+class SubdiagonalCost:
+    """Modelled factorization flops of one sub-diagonal (Fig. 6c data).
+
+    Attributes
+    ----------
+    band_id:
+        1-based band index (``d + 1`` for sub-diagonal distance ``d``).
+    maxrank:
+        Largest initial rank observed on the sub-diagonal.
+    ntile:
+        Number of tiles on the sub-diagonal.
+    dense_flops:
+        Total flops if the sub-diagonal is processed dense.
+    tlr_flops:
+        Total flops if it stays compressed (at ``maxrank``).
+    """
+
+    band_id: int
+    maxrank: int
+    ntile: int
+    dense_flops: float
+    tlr_flops: float
+
+
+@dataclass(frozen=True)
+class BandSizeDecision:
+    """Outcome of the auto-tuner.
+
+    Attributes
+    ----------
+    band_size:
+        Chosen ``BAND_SIZE`` (>= 1; the diagonal is always dense).
+    fluctuation:
+        The factor used for the decision.
+    costs:
+        Per-sub-diagonal cost table (for Fig. 6c style reporting).
+    band_size_range:
+        ``(min, max)`` band size over the paper's fluctuation window
+        [0.67, 1] — the rectangular boxes of Figs. 6a/6b.
+    """
+
+    band_size: int
+    fluctuation: float
+    costs: tuple[SubdiagonalCost, ...]
+    band_size_range: tuple[int, int]
+
+
+def subdiagonal_maxranks(rank_grid: np.ndarray) -> list[int]:
+    """Max initial rank per sub-diagonal ``d = 1 .. NT-1``.
+
+    ``rank_grid`` is the output of
+    :meth:`repro.matrix.BandTLRMatrix.rank_grid` (−1 marks dense/unused
+    entries).  Sub-diagonals whose tiles are all dense (inside the current
+    band) report −1 and are skipped by the cost model.
+    """
+    nt = rank_grid.shape[0]
+    out = []
+    for d in range(1, nt):
+        vals = [rank_grid[j + d, j] for j in range(nt - d)]
+        vals = [v for v in vals if v >= 0]
+        out.append(int(max(vals)) if vals else -1)
+    return out
+
+
+def subdiagonal_costs(
+    maxranks: list[int], ntiles: int, tile_size: int
+) -> list[SubdiagonalCost]:
+    """Dense-vs-TLR factorization flops per sub-diagonal.
+
+    A tile at position ``j`` of sub-diagonal ``d`` (i.e. tile
+    ``(j + d, j)``) receives ``j`` GEMM updates and one TRSM, so the
+    sub-diagonal receives ``Σ_j j = (NT-d)(NT-d-1)/2`` GEMMs and
+    ``NT - d`` TRSMs.
+    """
+    nt = check_positive_int("ntiles", ntiles)
+    b = check_positive_int("tile_size", tile_size)
+    costs: list[SubdiagonalCost] = []
+    for d in range(1, nt):
+        k = maxranks[d - 1] if d - 1 < len(maxranks) else -1
+        ntile = nt - d
+        n_gemm = ntile * (ntile - 1) // 2
+        dense = n_gemm * flops_gemm_dense(b) + ntile * flops_trsm_dense(b)
+        if k < 0:
+            # Sub-diagonal already dense; report the dense cost on both
+            # sides so it never drives the decision.
+            tlr = dense
+            k = 0
+        else:
+            tlr = n_gemm * flops_gemm_lr(b, max(k, 1)) + ntile * flops_trsm_lr(
+                b, max(k, 1)
+            )
+        costs.append(
+            SubdiagonalCost(
+                band_id=d + 1,
+                maxrank=k,
+                ntile=ntile,
+                dense_flops=dense,
+                tlr_flops=tlr,
+            )
+        )
+    return costs
+
+
+def tune_band_size(
+    rank_grid: np.ndarray,
+    tile_size: int,
+    *,
+    fluctuation: float = FLUCTUATION_RANGE[0],
+    max_band: int | None = None,
+) -> BandSizeDecision:
+    """Algorithm 1: choose ``BAND_SIZE`` from the initial rank distribution.
+
+    Parameters
+    ----------
+    rank_grid:
+        Post-compression rank grid (band-1 layout: every off-diagonal tile
+        compressed).
+    tile_size:
+        Tile dimension ``b``.
+    fluctuation:
+        Densification threshold in (0, 1]; the paper's default is the
+        conservative end 0.67 of its [0.67, 1] window.
+    max_band:
+        Optional cap (defaults to ``NT``).
+    """
+    if not (0.0 < fluctuation <= 1.0):
+        raise ConfigurationError(
+            f"fluctuation must be in (0, 1], got {fluctuation}"
+        )
+    nt = rank_grid.shape[0]
+    cap = nt if max_band is None else min(max_band, nt)
+    maxranks = subdiagonal_maxranks(rank_grid)
+    costs = subdiagonal_costs(maxranks, nt, tile_size)
+
+    def decide(f: float) -> int:
+        band = 1
+        for c in costs:
+            if c.band_id > cap:
+                break
+            if c.dense_flops <= f * c.tlr_flops:
+                band = c.band_id
+            else:
+                break
+        return band
+
+    lo = decide(FLUCTUATION_RANGE[0])
+    hi = decide(FLUCTUATION_RANGE[1])
+    return BandSizeDecision(
+        band_size=decide(fluctuation),
+        fluctuation=fluctuation,
+        costs=tuple(costs),
+        band_size_range=(min(lo, hi), max(lo, hi)),
+    )
+
+
+def autotune_matrix(
+    matrix: BandTLRMatrix,
+    problem,
+    *,
+    fluctuation: float = FLUCTUATION_RANGE[0],
+    max_band: int | None = None,
+) -> tuple[BandTLRMatrix, BandSizeDecision]:
+    """The full Section VIII-B pipeline on an already-compressed matrix.
+
+    (1) the matrix was generated with ``band_size = 1``; (2) tune; (3)
+    regenerate the tiles inside the tuned band in dense format.  Returns
+    the re-banded matrix and the tuning decision.
+    """
+    decision = tune_band_size(
+        matrix.rank_grid(),
+        matrix.desc.tile_size,
+        fluctuation=fluctuation,
+        max_band=max_band,
+    )
+    if decision.band_size == matrix.band_size:
+        return matrix, decision
+    return matrix.with_band_size(decision.band_size, problem), decision

@@ -1,0 +1,158 @@
+"""Tile-based densification — the paper's future-work generalization.
+
+Section IX: *"A more generic approach to BAND-DENSE-TLR will be to change
+the data structure on a tile-based instead of a band-basis to capture
+tiles with high ranks located far away from the diagonal."*  This module
+implements that generalization.
+
+At laptop scale the motivation is concrete: Morton ordering produces rank
+*spikes* on isolated sub-diagonals (tiles pairing spatially adjacent
+Morton blocks far apart in index space — see the Fig. 6c bench), which a
+contiguous band cannot capture without densifying everything in between.
+
+The per-tile flop model mirrors Algorithm 1: tile ``(i, j)`` receives one
+TRSM and ``j`` GEMM updates over the factorization, so it is rolled back
+to dense when::
+
+    j * gemm_dense(b) + trsm_dense(b) <= fluctuation *
+        (j * gemm_lr(b, k_ij) + trsm_lr(b, k_ij))
+
+A *closure* pass then repairs the one invalid operand combination the
+mixed-format GEMM cannot express: if both panel operands ``(m, k)`` and
+``(n, k)`` are dense, the destination ``(m, n)`` receives a full-rank
+update and must be dense too (in the band algorithm the index identity
+``m - n <= m - k`` guarantees this automatically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg.compression import compress_block
+from ..linalg.flops import (
+    flops_gemm_dense,
+    flops_gemm_lr,
+    flops_trsm_dense,
+    flops_trsm_lr,
+)
+from ..linalg.tiles import DenseTile, LowRankTile
+from ..matrix.tlr_matrix import BandTLRMatrix
+from ..statistics.problem import CovarianceProblem
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["TileDensificationPlan", "plan_tile_densification", "apply_densification"]
+
+
+@dataclass(frozen=True)
+class TileDensificationPlan:
+    """Which tiles to store dense, chosen tile-by-tile.
+
+    Attributes
+    ----------
+    dense_mask:
+        Boolean ``NT x NT`` lower-triangular mask; True = store dense.
+        The diagonal is always True.
+    n_policy:
+        Tiles densified by the flop model itself.
+    n_closure:
+        Additional tiles densified by the dense-operand closure.
+    """
+
+    dense_mask: np.ndarray
+    n_policy: int
+    n_closure: int
+
+    @property
+    def n_dense(self) -> int:
+        """Total dense lower-triangular tiles (diagonal included)."""
+        return int(np.sum(np.tril(self.dense_mask)))
+
+
+def plan_tile_densification(
+    rank_grid: np.ndarray,
+    tile_size: int,
+    *,
+    fluctuation: float = 0.67,
+) -> TileDensificationPlan:
+    """Choose dense tiles from the post-compression rank grid.
+
+    Parameters
+    ----------
+    rank_grid:
+        ``NT x NT`` initial ranks (−1 marks dense/diagonal entries, which
+        stay dense).
+    tile_size:
+        Tile dimension ``b``.
+    fluctuation:
+        Same densification threshold as Algorithm 1 (paper window
+        [0.67, 1]).
+    """
+    if not (0.0 < fluctuation <= 1.0):
+        raise ConfigurationError(f"fluctuation must be in (0, 1], got {fluctuation}")
+    nt = rank_grid.shape[0]
+    b = tile_size
+    mask = np.zeros((nt, nt), dtype=bool)
+    n_policy = 0
+    for i in range(nt):
+        mask[i, i] = True
+        for j in range(i):
+            k = int(rank_grid[i, j])
+            if k < 0:
+                mask[i, j] = True
+                continue
+            n_updates = j
+            dense_cost = n_updates * flops_gemm_dense(b) + flops_trsm_dense(b)
+            tlr_cost = n_updates * flops_gemm_lr(b, max(k, 1)) + flops_trsm_lr(
+                b, max(k, 1)
+            )
+            if dense_cost <= fluctuation * tlr_cost:
+                mask[i, j] = True
+                n_policy += 1
+
+    # Closure: dense (m,k) and dense (n,k) force dense (m,n).  Iterate to
+    # a fixed point (each pass only adds tiles, so it terminates).
+    n_closure = 0
+    changed = True
+    while changed:
+        changed = False
+        for m in range(nt):
+            for n in range(m):
+                if mask[m, n]:
+                    continue
+                for k in range(n):
+                    if mask[m, k] and mask[n, k]:
+                        mask[m, n] = True
+                        n_closure += 1
+                        changed = True
+                        break
+    return TileDensificationPlan(dense_mask=mask, n_policy=n_policy, n_closure=n_closure)
+
+
+def apply_densification(
+    matrix: BandTLRMatrix,
+    problem: CovarianceProblem,
+    plan: TileDensificationPlan,
+) -> BandTLRMatrix:
+    """Re-materialize the matrix with the plan's per-tile formats.
+
+    Tiles entering dense format are regenerated from the problem; tiles
+    leaving it are compressed; everything else is shared (like
+    :meth:`BandTLRMatrix.with_band_size`).  The resulting matrix keeps
+    ``band_size = 1`` (only the diagonal is *guaranteed* dense) — the
+    format dispatch in the factorization kernels handles the rest.
+    """
+    nt = matrix.ntiles
+    if plan.dense_mask.shape != (nt, nt):
+        raise ConfigurationError("plan geometry does not match the matrix")
+    out = BandTLRMatrix(desc=matrix.desc, band_size=1, rule=matrix.rule)
+    for (i, j), tile in matrix.tiles.items():
+        want_dense = bool(plan.dense_mask[i, j])
+        if want_dense and isinstance(tile, LowRankTile):
+            out.tiles[(i, j)] = DenseTile(problem.tile(i, j))
+        elif not want_dense and isinstance(tile, DenseTile) and i != j:
+            out.tiles[(i, j)] = compress_block(tile.data, matrix.rule)
+        else:
+            out.tiles[(i, j)] = tile
+    return out

@@ -1,0 +1,147 @@
+"""Sequential reference BAND-DENSE-TLR Cholesky factorization.
+
+The right-looking tile algorithm of Fig. 4, executed as straight loops —
+the numerical ground truth the runtime executor and the simulator's DAG
+are validated against.  One code path covers all the paper's layouts
+through the matrix's per-tile formats: pure TLR (band 1), BAND-DENSE-TLR
+(band B), fully dense (band NT), and the tile-based densification of
+:mod:`repro.core.densify`.
+
+Beyond the paper's static layouts, ``adaptive_threshold`` implements the
+*online* densification Section V-B sketches as future work ("an adaptive
+online auto-tuning that densifies ... the tiles on-demand"): whenever a
+recompression pushes a tile's rank above the threshold fraction of the
+tile size, the tile is rolled back to dense on the spot, and destinations
+whose both operands have become dense are densified before the update
+(the closure rule of :func:`repro.core.densify.plan_tile_densification`).
+
+The factor overwrites the matrix: dense tiles hold dense ``L`` blocks
+(diagonal tiles lower-triangular), compressed tiles hold compressed
+blocks of ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..linalg import hcore
+from ..linalg.compression import TruncationRule
+from ..linalg.flops import FlopCounter
+from ..linalg.tiles import DenseTile, LowRankTile
+from ..matrix.tlr_matrix import BandTLRMatrix
+from ..utils.exceptions import ConfigurationError
+
+__all__ = ["FactorizationReport", "tlr_cholesky"]
+
+
+@dataclass
+class FactorizationReport:
+    """Statistics of one factorization run.
+
+    Attributes
+    ----------
+    counter:
+        Modelled flops by kernel class (Table I, actual ranks).
+    rank_growth_events:
+        Recompressions whose output rank exceeded the destination's
+        previous rank (each would trigger a pool reallocation).
+    max_rank_seen:
+        Largest compressed-tile rank observed (final maxrank, Fig. 1).
+    """
+
+    counter: FlopCounter = field(default_factory=FlopCounter)
+    rank_growth_events: int = 0
+    max_rank_seen: int = 0
+    tiles_densified_online: int = 0
+
+
+def tlr_cholesky(
+    matrix: BandTLRMatrix,
+    *,
+    rule: TruncationRule | None = None,
+    adaptive_threshold: float | None = None,
+) -> FactorizationReport:
+    """Factorize ``matrix`` in place into its lower Cholesky factor.
+
+    Parameters
+    ----------
+    matrix:
+        SPD matrix in BAND-DENSE-TLR storage; overwritten by ``L``.
+    rule:
+        Truncation rule for the low-rank updates; defaults to the
+        matrix's compression rule.
+    adaptive_threshold:
+        When set (a fraction of the tile size, e.g. ``0.5``), a compressed
+        tile whose rank exceeds ``adaptive_threshold * b`` after a
+        recompression is densified on demand, and so is any low-rank
+        destination whose both GEMM operands are (or became) dense.
+
+    Returns
+    -------
+    FactorizationReport
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        When a diagonal tile loses positive definiteness (accuracy
+        threshold too loose relative to the matrix's conditioning).
+    """
+    rule = rule or matrix.rule
+    if adaptive_threshold is not None and not (0.0 < adaptive_threshold <= 1.0):
+        raise ConfigurationError(
+            f"adaptive_threshold must be in (0, 1], got {adaptive_threshold}"
+        )
+    nt = matrix.ntiles
+    report = FactorizationReport()
+
+    def densify(i: int, j: int) -> None:
+        tile = matrix.tile(i, j)
+        if isinstance(tile, LowRankTile):
+            matrix.set_tile(i, j, DenseTile(tile.to_dense()))
+            report.tiles_densified_online += 1
+
+    def maybe_densify_grown(i: int, j: int, rank_after: int) -> None:
+        if adaptive_threshold is None:
+            return
+        b = min(matrix.desc.tile_shape(i, j))
+        if rank_after > adaptive_threshold * b:
+            densify(i, j)
+
+    for k in range(nt):
+        hcore.potrf_dense(
+            matrix.tile(k, k), counter=report.counter, tile_index=(k, k)
+        )
+        for m in range(k + 1, nt):
+            out = hcore.trsm_auto(
+                matrix.tile(k, k), matrix.tile(m, k), counter=report.counter
+            )
+            matrix.set_tile(m, k, out)
+        for n in range(k + 1, nt):
+            hcore.syrk_auto(
+                matrix.tile(n, k), matrix.tile(n, n), counter=report.counter
+            )
+            for m in range(n + 1, nt):
+                if (
+                    adaptive_threshold is not None
+                    and isinstance(matrix.tile(m, k), DenseTile)
+                    and isinstance(matrix.tile(n, k), DenseTile)
+                ):
+                    # Closure rule: a full-rank update needs a dense C.
+                    densify(m, n)
+                out, _, recomp = hcore.gemm_auto(
+                    matrix.tile(m, k),
+                    matrix.tile(n, k),
+                    matrix.tile(m, n),
+                    rule,
+                    counter=report.counter,
+                )
+                if recomp is not None:
+                    if recomp.grew:
+                        report.rank_growth_events += 1
+                    report.max_rank_seen = max(
+                        report.max_rank_seen, recomp.rank_after
+                    )
+                matrix.set_tile(m, n, out)
+                if recomp is not None:
+                    maybe_densify_grown(m, n, recomp.rank_after)
+    return report

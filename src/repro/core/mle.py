@@ -1,0 +1,178 @@
+r"""Maximum Likelihood Estimation on TLR-factorized covariance matrices.
+
+Equation (1) of the paper:
+
+.. math::
+
+    \ell(\theta) = -\frac{n}{2}\log(2\pi) - \frac{1}{2}\log|\Sigma(\theta)|
+                   - \frac{1}{2} Z^\top \Sigma(\theta)^{-1} Z.
+
+Each likelihood evaluation assembles the covariance at the candidate
+``θ``, compresses it, runs the TLR Cholesky, and reads off
+``log|Σ| = 2 Σ log L_ii`` and ``Z^T Σ^{-1} Z = ||L^{-1} Z||²`` — exactly
+the pipeline the paper accelerates (the factorization *is* the MLE inner
+loop).  The optimizer is a Nelder-Mead search over log-parameters, the
+standard derivative-free choice for the 2-3 dimensional Matérn problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from ..linalg.compression import TruncationRule
+from ..statistics.matern import MaternParams
+from ..statistics.problem import CovarianceProblem
+from ..utils.exceptions import ConfigurationError, NotPositiveDefiniteError
+from ..matrix.tlr_matrix import BandTLRMatrix
+from .factorize import tlr_cholesky
+from .solve import forward_solve, log_det
+
+__all__ = ["log_likelihood", "LikelihoodEvaluator", "MLEResult", "fit_mle"]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+def log_likelihood(factor: BandTLRMatrix, z: np.ndarray) -> float:
+    """Evaluate Eq. (1) given an already-factorized covariance.
+
+    Parameters
+    ----------
+    factor:
+        The matrix after :func:`repro.core.factorize.tlr_cholesky`.
+    z:
+        Measurement vector of length ``n``.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    if z.ndim != 1 or z.shape[0] != factor.n:
+        raise ConfigurationError(
+            f"z must be a length-{factor.n} vector, got shape {z.shape}"
+        )
+    y = forward_solve(factor, z)
+    quad = float(y @ y)
+    return -0.5 * (factor.n * _LOG_2PI + log_det(factor) + quad)
+
+
+@dataclass
+class LikelihoodEvaluator:
+    """Re-evaluates the likelihood at candidate Matérn parameters.
+
+    Attributes
+    ----------
+    points:
+        Spatial locations (already Morton-ordered).
+    z:
+        Measurement vector.
+    tile_size:
+        Tile size ``b`` for the TLR machinery.
+    rule:
+        Compression rule (the accuracy threshold the MLE runs at).
+    band_size:
+        Dense band width used for every evaluation.
+    nugget:
+        Diagonal regularization added at each candidate.
+    smoothness:
+        Fixed smoothness :math:`\\theta_3` (the paper estimates range and
+        variance at fixed smoothness 0.5).
+    evaluations:
+        Log of ``(theta1, theta2, loglik)`` triples, for diagnostics.
+    """
+
+    points: np.ndarray
+    z: np.ndarray
+    tile_size: int
+    rule: TruncationRule = field(default_factory=TruncationRule)
+    band_size: int = 1
+    nugget: float = 1e-6
+    smoothness: float = 0.5
+    evaluations: list[tuple[float, float, float]] = field(default_factory=list)
+
+    def __call__(self, variance: float, correlation_length: float) -> float:
+        """Log-likelihood at ``(θ1, θ2)``; −inf for infeasible candidates."""
+        try:
+            params = MaternParams(
+                variance=variance,
+                correlation_length=correlation_length,
+                smoothness=self.smoothness,
+            )
+        except ConfigurationError:
+            return float("-inf")
+        problem = CovarianceProblem(
+            points=self.points,
+            params=params,
+            tile_size=self.tile_size,
+            nugget=self.nugget,
+        )
+        matrix = BandTLRMatrix.from_problem(problem, self.rule, self.band_size)
+        try:
+            tlr_cholesky(matrix)
+        except NotPositiveDefiniteError:
+            return float("-inf")
+        ll = log_likelihood(matrix, self.z)
+        self.evaluations.append((variance, correlation_length, ll))
+        return ll
+
+
+@dataclass(frozen=True)
+class MLEResult:
+    """Outcome of the MLE optimization.
+
+    Attributes
+    ----------
+    variance, correlation_length:
+        The estimated :math:`\\hat\\theta_1, \\hat\\theta_2`.
+    log_likelihood:
+        Likelihood at the optimum.
+    n_evaluations:
+        Covariance factorizations performed.
+    converged:
+        Optimizer's success flag.
+    """
+
+    variance: float
+    correlation_length: float
+    log_likelihood: float
+    n_evaluations: int
+    converged: bool
+
+
+def fit_mle(
+    evaluator: LikelihoodEvaluator,
+    *,
+    initial: tuple[float, float] = (1.0, 0.1),
+    xatol: float = 1e-3,
+    fatol: float = 1e-4,
+    max_iterations: int = 200,
+) -> MLEResult:
+    """Maximize the likelihood over ``(θ1, θ2)`` with Nelder-Mead.
+
+    The search runs in log-parameter space, which keeps both parameters
+    positive and equalizes their scales.
+    """
+    if initial[0] <= 0 or initial[1] <= 0:
+        raise ConfigurationError("initial parameters must be positive")
+
+    def objective(log_theta: np.ndarray) -> float:
+        t1, t2 = float(np.exp(log_theta[0])), float(np.exp(log_theta[1]))
+        return -evaluator(t1, t2)
+
+    res = optimize.minimize(
+        objective,
+        x0=np.log(np.asarray(initial, dtype=np.float64)),
+        method="Nelder-Mead",
+        options={
+            "xatol": xatol,
+            "fatol": fatol,
+            "maxiter": max_iterations,
+        },
+    )
+    t1, t2 = np.exp(res.x)
+    return MLEResult(
+        variance=float(t1),
+        correlation_length=float(t2),
+        log_likelihood=float(-res.fun),
+        n_evaluations=len(evaluator.evaluations),
+        converged=bool(res.success),
+    )

@@ -1,0 +1,97 @@
+"""Tile-size selection (Section VIII-C).
+
+For TLR matrix computations the minimal operation count is attained at
+``b = O(sqrt(N))`` (the paper cites Akbudak et al. [17] and checks that the
+estimate — 1039 for N = 1.08M, 1469 for N = 2.16M, i.e. exactly
+``sqrt(N)`` — is "a reasonably good starting point").  The paper then
+searches locally around the estimate and stops when the time trend turns.
+
+:func:`suggest_tile_size` returns the analytic starting point;
+:func:`local_minimum_search` implements the stop-at-local-minimum sweep
+over a user-supplied evaluation function (the benchmarks pass simulated or
+measured time-to-solution).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_positive_int
+
+__all__ = ["suggest_tile_size", "candidate_tile_sizes", "local_minimum_search"]
+
+
+def suggest_tile_size(
+    n: int, *, coefficient: float = 1.0, multiple_of: int = 1, minimum: int = 32
+) -> int:
+    """The ``b ≈ c · sqrt(N)`` starting point.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension.
+    coefficient:
+        The ``c`` in front of ``sqrt(N)`` (1.0 reproduces the paper's
+        1039/1469 examples).
+    multiple_of:
+        Round to a multiple (useful to align with hardware blocking).
+    minimum:
+        Lower clamp for tiny problems.
+    """
+    n = check_positive_int("n", n)
+    check_positive_int("multiple_of", multiple_of)
+    b = coefficient * n**0.5
+    b = max(int(round(b / multiple_of)) * multiple_of, minimum)
+    return min(b, n)
+
+
+def candidate_tile_sizes(
+    n: int, *, count: int = 5, step: float = 1.5, **kwargs
+) -> list[int]:
+    """A geometric sweep of tile sizes centred on the suggestion.
+
+    Returns ``count`` candidates spanning ``[b*/step^h, b*·step^h]`` with
+    ``h = (count-1)/2``, deduplicated and clamped to ``[minimum, n]``.
+    """
+    check_positive_int("count", count)
+    if step <= 1.0:
+        raise ConfigurationError(f"step must be > 1, got {step}")
+    base = suggest_tile_size(n, **kwargs)
+    half = (count - 1) / 2.0
+    cands = sorted(
+        {
+            min(max(int(round(base * step ** (i - half))), 16), n)
+            for i in range(count)
+        }
+    )
+    return cands
+
+
+def local_minimum_search(
+    candidates: Sequence[int],
+    evaluate: Callable[[int], float],
+) -> tuple[int, dict[int, float]]:
+    """Sweep tile sizes in increasing order, stopping past a local minimum.
+
+    Mirrors the paper's procedure: start from the analytic estimate and
+    stop "when the time-to-solution trend changes".  Returns the best tile
+    size and all evaluations performed.
+    """
+    if not candidates:
+        raise ConfigurationError("no tile-size candidates supplied")
+    results: dict[int, float] = {}
+    best_b, best_t = None, float("inf")
+    rising = 0
+    for b in sorted(candidates):
+        t = float(evaluate(b))
+        results[b] = t
+        if t < best_t:
+            best_b, best_t = b, t
+            rising = 0
+        else:
+            rising += 1
+            if rising >= 2:  # two consecutive worse points: trend changed
+                break
+    assert best_b is not None
+    return best_b, results

@@ -1,0 +1,19 @@
+"""Tile-to-process data distributions (2DBCDD, 1DBCDD, hybrid band)."""
+
+from .distributions import (
+    BandDistribution,
+    Distribution,
+    OneDBlockCyclic,
+    TwoDBlockCyclic,
+    load_per_process,
+)
+from .process_grid import ProcessGrid
+
+__all__ = [
+    "ProcessGrid",
+    "Distribution",
+    "TwoDBlockCyclic",
+    "OneDBlockCyclic",
+    "BandDistribution",
+    "load_per_process",
+]

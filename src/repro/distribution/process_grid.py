@@ -1,0 +1,58 @@
+"""Process grids for block-cyclic data distributions.
+
+The paper uses a ``P x Q`` grid "as square as possible" with ``P <= Q``
+(Section VIII-A).  :meth:`ProcessGrid.squarest` reproduces that choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.validation import check_positive_int
+
+__all__ = ["ProcessGrid"]
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A ``P x Q`` logical grid over ``P * Q`` processes.
+
+    Process ranks are laid out row-major: grid coordinate ``(r, c)`` is
+    rank ``r * q + c``.
+    """
+
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        check_positive_int("p", self.p)
+        check_positive_int("q", self.q)
+
+    @property
+    def size(self) -> int:
+        """Total number of processes."""
+        return self.p * self.q
+
+    def rank_of(self, r: int, c: int) -> int:
+        """Rank of grid coordinate ``(r, c)`` (coordinates taken modulo)."""
+        return (r % self.p) * self.q + (c % self.q)
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        """Grid coordinate of ``rank``."""
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        return divmod(rank, self.q)
+
+    @classmethod
+    def squarest(cls, size: int) -> "ProcessGrid":
+        """The most-square ``P x Q`` factorization of ``size`` with ``P <= Q``.
+
+        E.g. 12 -> 3x4, 16 -> 4x4, 7 -> 1x7 (primes degrade to a row).
+        """
+        size = check_positive_int("size", size)
+        p = int(size**0.5)
+        while p >= 1:
+            if size % p == 0:
+                return cls(p, size // p)
+            p -= 1
+        raise AssertionError("unreachable")  # pragma: no cover

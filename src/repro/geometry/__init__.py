@@ -1,0 +1,25 @@
+"""Spatial geometry: location generation, Morton ordering, distances."""
+
+from .distance import block_distances, pairwise_distances
+from .grids import generate_locations, grid_side_for, perturbed_grid, uniform_cloud
+from .morton import (
+    morton_argsort,
+    morton_decode_2d,
+    morton_decode_3d,
+    morton_encode_2d,
+    morton_encode_3d,
+)
+
+__all__ = [
+    "block_distances",
+    "pairwise_distances",
+    "generate_locations",
+    "grid_side_for",
+    "perturbed_grid",
+    "uniform_cloud",
+    "morton_argsort",
+    "morton_encode_2d",
+    "morton_encode_3d",
+    "morton_decode_2d",
+    "morton_decode_3d",
+]

@@ -1,0 +1,193 @@
+"""Morton (Z-order) space-filling-curve encoding in 2-D and 3-D.
+
+The paper orders the spatial locations along a Morton curve before tiling
+(Section IV: "We use Morton ordering for a good compression ratio").
+Neighbouring points on the curve are spatially close, so tiles built from
+contiguous index ranges correspond to spatially compact clusters, which is
+what makes off-diagonal covariance tiles numerically low-rank.
+
+The encoders are fully vectorized: coordinates are quantized to ``bits``
+levels per dimension and their bits interleaved with the classic
+"magic-number" bit-spreading scheme, using 64-bit integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+
+__all__ = [
+    "part1by1",
+    "part1by2",
+    "compact1by1",
+    "compact1by2",
+    "morton_encode_2d",
+    "morton_encode_3d",
+    "morton_decode_2d",
+    "morton_decode_3d",
+    "morton_argsort",
+]
+
+#: Maximum number of quantization bits per dimension supported in 3-D.
+MAX_BITS_3D = 21  # 3 * 21 = 63 bits fits in int64
+#: Maximum number of quantization bits per dimension supported in 2-D.
+MAX_BITS_2D = 31  # 2 * 31 = 62 bits fits in int64
+
+
+def part1by1(x: np.ndarray) -> np.ndarray:
+    """Spread the low 31 bits of ``x``, inserting one zero between each bit.
+
+    ``abcd`` becomes ``0a0b0c0d``.  Input must be non-negative int64.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    x = x & np.uint64(0x7FFFFFFF)  # no in-place op: asarray may alias the input
+    x = (x | (x << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x3333333333333333)
+    x = (x | (x << np.uint64(1))) & np.uint64(0x5555555555555555)
+    return x
+
+
+def part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of ``x``, inserting two zeros between bits.
+
+    ``abc`` becomes ``00a00b00c``.  Input must be non-negative int64.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    x = x & np.uint64(0x1FFFFF)  # no in-place op: asarray may alias the input
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def compact1by1(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`part1by1`: gather every second bit."""
+    x = np.asarray(x, dtype=np.uint64)
+    x = x & np.uint64(0x5555555555555555)  # no in-place op: asarray may alias
+    x = (x ^ (x >> np.uint64(1))) & np.uint64(0x3333333333333333)
+    x = (x ^ (x >> np.uint64(2))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = (x ^ (x >> np.uint64(4))) & np.uint64(0x00FF00FF00FF00FF)
+    x = (x ^ (x >> np.uint64(8))) & np.uint64(0x0000FFFF0000FFFF)
+    x = (x ^ (x >> np.uint64(16))) & np.uint64(0x00000000FFFFFFFF)
+    return x.astype(np.int64)
+
+
+def compact1by2(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`part1by2`: gather every third bit."""
+    x = np.asarray(x, dtype=np.uint64)
+    x = x & np.uint64(0x1249249249249249)  # no in-place op: asarray may alias
+    x = (x ^ (x >> np.uint64(2))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x ^ (x >> np.uint64(4))) & np.uint64(0x100F00F00F00F00F)
+    x = (x ^ (x >> np.uint64(8))) & np.uint64(0x1F0000FF0000FF)
+    x = (x ^ (x >> np.uint64(16))) & np.uint64(0x1F00000000FFFF)
+    x = (x ^ (x >> np.uint64(32))) & np.uint64(0x1FFFFF)
+    return x.astype(np.int64)
+
+
+def _check_codes(ix: np.ndarray, bits: int, ndim: int) -> np.ndarray:
+    ix = np.asarray(ix)
+    if np.any(ix < 0):
+        raise ConfigurationError("Morton encoding requires non-negative cell indices")
+    limit = 1 << bits
+    if np.any(ix >= limit):
+        raise ConfigurationError(
+            f"cell index exceeds {bits}-bit range for {ndim}-D Morton encoding"
+        )
+    return ix.astype(np.int64)
+
+
+def morton_encode_2d(ix: np.ndarray, iy: np.ndarray, bits: int = MAX_BITS_2D) -> np.ndarray:
+    """Interleave two integer grid coordinates into Morton codes.
+
+    Parameters
+    ----------
+    ix, iy:
+        Integer cell coordinates, each in ``[0, 2**bits)``.
+    bits:
+        Quantization bits per dimension, at most :data:`MAX_BITS_2D`.
+    """
+    if not (1 <= bits <= MAX_BITS_2D):
+        raise ConfigurationError(f"bits must be in [1, {MAX_BITS_2D}], got {bits}")
+    ix = _check_codes(ix, bits, 2)
+    iy = _check_codes(iy, bits, 2)
+    return (part1by1(ix) | (part1by1(iy) << np.uint64(1))).astype(np.int64)
+
+
+def morton_encode_3d(
+    ix: np.ndarray, iy: np.ndarray, iz: np.ndarray, bits: int = MAX_BITS_3D
+) -> np.ndarray:
+    """Interleave three integer grid coordinates into Morton codes."""
+    if not (1 <= bits <= MAX_BITS_3D):
+        raise ConfigurationError(f"bits must be in [1, {MAX_BITS_3D}], got {bits}")
+    ix = _check_codes(ix, bits, 3)
+    iy = _check_codes(iy, bits, 3)
+    iz = _check_codes(iz, bits, 3)
+    code = part1by2(ix) | (part1by2(iy) << np.uint64(1)) | (part1by2(iz) << np.uint64(2))
+    return code.astype(np.int64)
+
+
+def morton_decode_2d(code: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Recover ``(ix, iy)`` from 2-D Morton codes."""
+    code = np.asarray(code, dtype=np.uint64)
+    return compact1by1(code), compact1by1(code >> np.uint64(1))
+
+
+def morton_decode_3d(code: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recover ``(ix, iy, iz)`` from 3-D Morton codes."""
+    code = np.asarray(code, dtype=np.uint64)
+    return (
+        compact1by2(code),
+        compact1by2(code >> np.uint64(1)),
+        compact1by2(code >> np.uint64(2)),
+    )
+
+
+def morton_argsort(points: np.ndarray, bits: int | None = None) -> np.ndarray:
+    """Return the permutation that sorts ``points`` along a Morton curve.
+
+    Points (shape ``(n, d)`` with d in {2, 3}) are quantized to a uniform
+    grid of ``2**bits`` cells per dimension spanning their bounding box,
+    then sorted by Morton code.  Ties (points in the same cell) are broken
+    by original index, making the permutation deterministic.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, 2)`` or ``(n, 3)`` of coordinates.
+    bits:
+        Bits per dimension; defaults to the maximum supported for the
+        dimensionality.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer permutation ``p`` such that ``points[p]`` is Morton-ordered.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] not in (2, 3):
+        raise ConfigurationError(
+            f"points must have shape (n, 2) or (n, 3), got {pts.shape}"
+        )
+    n, d = pts.shape
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if bits is None:
+        bits = MAX_BITS_2D if d == 2 else MAX_BITS_3D
+
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    cells = (1 << bits) - 1
+    # Quantize into [0, 2**bits - 1]; clip guards the hi edge from round-up.
+    q = np.clip(((pts - lo) / span * cells).astype(np.int64), 0, cells)
+
+    if d == 2:
+        codes = morton_encode_2d(q[:, 0], q[:, 1], bits=bits)
+    else:
+        codes = morton_encode_3d(q[:, 0], q[:, 1], q[:, 2], bits=bits)
+    return np.argsort(codes, kind="stable")

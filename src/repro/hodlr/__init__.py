@@ -1,0 +1,6 @@
+"""HODLR (weak admissibility) baseline format — Section II's contrast."""
+
+from .matrix import HODLRMatrix
+from .tree import ClusterNode, build_cluster_tree
+
+__all__ = ["HODLRMatrix", "ClusterNode", "build_cluster_tree"]

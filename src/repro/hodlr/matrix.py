@@ -1,0 +1,211 @@
+"""HODLR matrices: weak-admissibility compression as a TLR baseline.
+
+A symmetric HODLR matrix stores, at each level of the cluster tree, the
+*entire* off-diagonal block ``A[left, right]`` in low-rank form, and
+recurses on the two diagonal blocks until dense leaves.  Storage is
+``O(n log n · k)`` when the off-diagonal ranks ``k`` stay bounded — the
+weak-admissibility assumption that Section II says "is well suited for
+... typically 2D problems" and breaks down in 3D, where the top-level
+blocks couple large clusters at short distances and carry high ranks.
+
+Only the lower/left off-diagonal factors are stored (symmetry); the
+format supports compression, reconstruction, matvec, and rank/memory
+reporting — the quantities the 2D-vs-3D baseline comparison needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..linalg.compression import TruncationRule, compress_block
+from ..linalg.tiles import LowRankTile
+from ..statistics.problem import CovarianceProblem
+from ..utils.exceptions import ConfigurationError
+from .tree import ClusterNode, build_cluster_tree
+
+__all__ = ["HODLRMatrix"]
+
+
+@dataclass
+class HODLRMatrix:
+    """Symmetric HODLR representation of an SPD matrix.
+
+    Attributes
+    ----------
+    tree:
+        The dyadic cluster tree.
+    rule:
+        Truncation rule used for the off-diagonal blocks.
+    offdiag:
+        ``(lo_left, lo_right) -> LowRankTile`` of block
+        ``A[left-interval, right-interval]`` per internal node.
+    leaf_blocks:
+        ``lo -> dense ndarray`` per leaf's diagonal block.
+    """
+
+    tree: ClusterNode
+    rule: TruncationRule
+    offdiag: dict[tuple[int, int], LowRankTile] = field(default_factory=dict)
+    leaf_blocks: dict[int, np.ndarray] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_problem(
+        cls,
+        problem: CovarianceProblem,
+        rule: TruncationRule,
+        *,
+        leaf_size: int | None = None,
+    ) -> "HODLRMatrix":
+        """Compress a covariance problem into HODLR form.
+
+        Blocks are assembled lazily from the problem's points (never the
+        full matrix), exactly like the TLR pipeline.
+        """
+        from ..geometry.distance import block_distances
+        from ..statistics.matern import matern
+
+        leaf = leaf_size or problem.tile_size
+        tree = build_cluster_tree(problem.n, leaf)
+        mat = cls(tree=tree, rule=rule)
+        pts = problem.points
+
+        def block(rows: slice, cols: slice, *, diagonal: bool = False) -> np.ndarray:
+            dist = block_distances(pts[rows], pts[cols])
+            if diagonal:
+                # Self-distances are exactly zero; clear GEMM round-off.
+                np.fill_diagonal(dist, 0.0)
+            return matern(dist, problem.params)
+
+        def visit(node: ClusterNode) -> None:
+            if node.is_leaf:
+                d = block(
+                    slice(node.lo, node.hi), slice(node.lo, node.hi),
+                    diagonal=True,
+                )
+                d[np.diag_indices_from(d)] += problem.nugget
+                mat.leaf_blocks[node.lo] = d
+                return
+            l, r = node.left, node.right
+            off = block(slice(l.lo, l.hi), slice(r.lo, r.hi))
+            mat.offdiag[(l.lo, r.lo)] = compress_block(off, rule)
+            visit(l)
+            visit(r)
+
+        visit(tree)
+        return mat
+
+    @classmethod
+    def from_dense(
+        cls, a: np.ndarray, rule: TruncationRule, leaf_size: int
+    ) -> "HODLRMatrix":
+        """Compress an explicit symmetric matrix (tests, small demos)."""
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ConfigurationError(f"matrix must be square, got {a.shape}")
+        tree = build_cluster_tree(a.shape[0], leaf_size)
+        mat = cls(tree=tree, rule=rule)
+
+        def visit(node: ClusterNode) -> None:
+            if node.is_leaf:
+                mat.leaf_blocks[node.lo] = a[node.lo : node.hi, node.lo : node.hi].copy()
+                return
+            l, r = node.left, node.right
+            mat.offdiag[(l.lo, r.lo)] = compress_block(
+                a[l.lo : l.hi, r.lo : r.hi], rule
+            )
+            visit(l)
+            visit(r)
+
+        visit(tree)
+        return mat
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.tree.size
+
+    @property
+    def levels(self) -> int:
+        """Depth of the cluster tree."""
+        return self.tree.depth
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full symmetric matrix."""
+        out = np.zeros((self.n, self.n))
+
+        def visit(node: ClusterNode) -> None:
+            if node.is_leaf:
+                out[node.lo : node.hi, node.lo : node.hi] = self.leaf_blocks[node.lo]
+                return
+            l, r = node.left, node.right
+            blk = self.offdiag[(l.lo, r.lo)].to_dense()
+            out[l.lo : l.hi, r.lo : r.hi] = blk
+            out[r.lo : r.hi, l.lo : l.hi] = blk.T
+            visit(l)
+            visit(r)
+
+        visit(self.tree)
+        return out
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` in ``O(n log n · k)``."""
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        if x.shape[0] != self.n:
+            raise ConfigurationError(
+                f"x has {x.shape[0]} rows but the matrix is {self.n}x{self.n}"
+            )
+        y = np.zeros_like(x)
+
+        def visit(node: ClusterNode) -> None:
+            if node.is_leaf:
+                y[node.lo : node.hi] += self.leaf_blocks[node.lo] @ x[node.lo : node.hi]
+                return
+            l, r = node.left, node.right
+            t = self.offdiag[(l.lo, r.lo)]
+            if t.rank > 0:
+                y[l.lo : l.hi] += t.u @ (t.v.T @ x[r.lo : r.hi])
+                y[r.lo : r.hi] += t.v @ (t.u.T @ x[l.lo : l.hi])
+            visit(l)
+            visit(r)
+
+        visit(self.tree)
+        return y[:, 0] if squeeze else y
+
+    # ------------------------------------------------------------------
+    def memory_elements(self) -> int:
+        """Float64 elements stored (dense leaves + low-rank factors)."""
+        total = sum(b.size for b in self.leaf_blocks.values())
+        total += sum(t.memory_elements() for t in self.offdiag.values())
+        return total
+
+    def rank_profile(self) -> list[tuple[int, int, int]]:
+        """``(block_size, rank, level)`` per off-diagonal block, largest
+        blocks first — the quantity that explodes in 3D."""
+        out = []
+
+        def visit(node: ClusterNode, level: int) -> None:
+            if node.is_leaf:
+                return
+            l, r = node.left, node.right
+            t = self.offdiag[(l.lo, r.lo)]
+            out.append((max(t.shape), t.rank, level))
+            visit(l, level + 1)
+            visit(r, level + 1)
+
+        visit(self.tree, 0)
+        return sorted(out, reverse=True)
+
+    def max_rank(self) -> int:
+        """Largest off-diagonal block rank."""
+        return max((t.rank for t in self.offdiag.values()), default=0)
+
+    def compression_error(self, reference: np.ndarray) -> float:
+        """Relative Frobenius error against a dense reference."""
+        diff = self.to_dense() - reference
+        return float(np.linalg.norm(diff) / np.linalg.norm(reference))

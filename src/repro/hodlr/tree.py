@@ -1,0 +1,82 @@
+"""Binary cluster trees for hierarchical (HODLR) matrices.
+
+Section II situates TLR among the hierarchical low-rank formats: HODLR
+(Hierarchically Off-Diagonal Low-Rank) is the canonical *weak
+admissibility* representative — every off-diagonal block of a recursive
+2x2 partition is compressed whole.  We implement it as a measurable
+baseline for the paper's claim that weak admissibility suits 2D problems
+while 3D problems (high off-diagonal ranks) favour TLR's flat tiling.
+
+The cluster tree splits an index interval recursively in half down to a
+leaf size; Morton-ordered points make the intervals spatially meaningful,
+the same locality argument TLR tiles rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.validation import check_positive_int
+
+__all__ = ["ClusterNode", "build_cluster_tree"]
+
+
+@dataclass
+class ClusterNode:
+    """A node of the dyadic cluster tree over ``range(lo, hi)``.
+
+    Attributes
+    ----------
+    lo, hi:
+        Half-open index interval covered by the node.
+    left, right:
+        Children (``None`` for leaves).
+    """
+
+    lo: int
+    hi: int
+    left: "ClusterNode | None" = None
+    right: "ClusterNode | None" = None
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def depth(self) -> int:
+        """Height of the subtree rooted here (0 for a leaf)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth, self.right.depth)  # type: ignore[union-attr]
+
+    def leaves(self):
+        """Yield the leaf nodes left-to-right."""
+        if self.is_leaf:
+            yield self
+        else:
+            yield from self.left.leaves()  # type: ignore[union-attr]
+            yield from self.right.leaves()  # type: ignore[union-attr]
+
+
+def build_cluster_tree(n: int, leaf_size: int) -> ClusterNode:
+    """Balanced dyadic tree over ``range(n)`` with leaves <= ``leaf_size``.
+
+    Intervals are halved (left child gets the extra element on odd sizes)
+    until they fit in a leaf.
+    """
+    check_positive_int("n", n)
+    check_positive_int("leaf_size", leaf_size)
+
+    def build(lo: int, hi: int) -> ClusterNode:
+        node = ClusterNode(lo, hi)
+        if hi - lo > leaf_size:
+            mid = lo + (hi - lo + 1) // 2
+            node.left = build(lo, mid)
+            node.right = build(mid, hi)
+        return node
+
+    return build(0, n)

@@ -1,0 +1,367 @@
+"""HCORE computational kernels: the ten ``(region)-kernel`` variants.
+
+These are the serial numerical kernels of Section VI that the runtime
+schedules.  Conventions (matching HiCMA / LAPACK lower Cholesky):
+
+* the factorization is ``A = L @ L.T`` with ``L`` lower triangular;
+* TRSM applies ``C <- C @ L^{-T}`` to a panel tile;
+* SYRK applies ``C <- C - A @ A.T`` to a diagonal tile;
+* GEMM applies ``C <- C - A @ B.T`` to an off-diagonal tile;
+* low-rank tiles are ``U @ V.T`` (see :mod:`repro.linalg.tiles`).
+
+Dense-output kernels mutate their destination tile in place and return it;
+low-rank-output kernels return a *new* :class:`LowRankTile` together with a
+:class:`~repro.linalg.compression.RecompressionResult` because the paper's
+dynamic memory designation reallocates the tile exactly at the
+recompression boundary (Section VII-B).
+
+Every kernel can record its Table I modelled cost into a
+:class:`~repro.linalg.flops.FlopCounter`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..utils.exceptions import KernelError, NotPositiveDefiniteError
+from .compression import RecompressionResult, TruncationRule, recompress
+from .flops import (
+    FlopCounter,
+    KernelClass,
+    flops_gemm_dense,
+    flops_gemm_dense_lrd,
+    flops_gemm_dense_lrlr,
+    flops_gemm_lr_dense_general,
+    flops_gemm_lr_general,
+    flops_potrf_dense,
+    flops_syrk_dense,
+    flops_syrk_lr,
+    flops_trsm_dense,
+    flops_trsm_lr,
+)
+from .tiles import DenseTile, LowRankTile, Tile
+
+__all__ = [
+    "potrf_dense",
+    "trsm_dense",
+    "trsm_lr",
+    "syrk_dense",
+    "syrk_lr",
+    "gemm_dense",
+    "gemm_dense_lrd",
+    "gemm_dense_lrlr",
+    "gemm_lr_dense",
+    "gemm_lr",
+    "gemm_auto",
+    "syrk_auto",
+    "trsm_auto",
+]
+
+
+def _count(counter: FlopCounter | None, kind: KernelClass, flops: float) -> None:
+    if counter is not None:
+        counter.add(kind, flops)
+
+
+# ----------------------------------------------------------------------
+# Region (1): dense band kernels
+# ----------------------------------------------------------------------
+def potrf_dense(
+    c: DenseTile,
+    *,
+    counter: FlopCounter | None = None,
+    tile_index: tuple[int, int] | None = None,
+) -> DenseTile:
+    """(1)-POTRF — dense Cholesky of a diagonal tile, in place.
+
+    The strict upper triangle is zeroed so ``c.data`` is exactly ``L``.
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If the tile is not numerically positive definite.
+    """
+    try:
+        l = sla.cholesky(c.data, lower=True, check_finite=False)
+    except sla.LinAlgError as exc:
+        raise NotPositiveDefiniteError(
+            f"POTRF failed on tile {tile_index}: {exc}", tile_index
+        ) from exc
+    c.data[...] = np.tril(l)
+    _count(counter, KernelClass.POTRF_DENSE, flops_potrf_dense(c.shape[0]))
+    return c
+
+
+def trsm_dense(
+    l_tile: DenseTile, c: DenseTile, *, counter: FlopCounter | None = None
+) -> DenseTile:
+    """(1)-TRSM — dense ``C <- C @ L^{-T}``, in place."""
+    if l_tile.shape[0] != l_tile.shape[1] or l_tile.shape[0] != c.shape[1]:
+        raise KernelError(
+            f"TRSM shape mismatch: L {l_tile.shape} vs C {c.shape}"
+        )
+    # Solve L @ X.T = C.T  =>  X = C @ L^{-T}
+    xt = sla.solve_triangular(
+        l_tile.data, c.data.T, lower=True, trans="N", check_finite=False
+    )
+    c.data[...] = xt.T
+    _count(counter, KernelClass.TRSM_DENSE, flops_trsm_dense(c.shape[0]))
+    return c
+
+
+def trsm_lr(
+    l_tile: DenseTile, c: LowRankTile, *, counter: FlopCounter | None = None
+) -> LowRankTile:
+    """(4)-TRSM — low-rank ``C <- C @ L^{-T}``; only V is touched.
+
+    ``(U V^T) L^{-T} = U (L^{-1} V)^T``, so the triangular solve operates
+    on the thin ``V`` factor — the reason this kernel costs ``b²k`` instead
+    of ``b³``.
+    """
+    if l_tile.shape[0] != l_tile.shape[1] or l_tile.shape[0] != c.shape[1]:
+        raise KernelError(
+            f"TRSM shape mismatch: L {l_tile.shape} vs C {c.shape}"
+        )
+    if c.rank > 0:
+        v = sla.solve_triangular(
+            l_tile.data, c.v, lower=True, trans="N", check_finite=False
+        )
+        c = LowRankTile(c.u, v)
+    _count(counter, KernelClass.TRSM_LR, flops_trsm_lr(c.shape[0], c.rank))
+    return c
+
+
+def syrk_dense(
+    a: DenseTile, c: DenseTile, *, counter: FlopCounter | None = None
+) -> DenseTile:
+    """(1)-SYRK — dense ``C <- C - A @ A.T``, in place."""
+    if a.shape[0] != c.shape[0] or c.shape[0] != c.shape[1]:
+        raise KernelError(f"SYRK shape mismatch: A {a.shape} vs C {c.shape}")
+    c.data -= a.data @ a.data.T
+    _count(counter, KernelClass.SYRK_DENSE, flops_syrk_dense(c.shape[0]))
+    return c
+
+
+def syrk_lr(
+    a: LowRankTile, c: DenseTile, *, counter: FlopCounter | None = None
+) -> DenseTile:
+    """(3)-SYRK — ``C <- C - U (V^T V) U^T`` with low-rank ``A = U V^T``."""
+    if a.shape[0] != c.shape[0] or c.shape[0] != c.shape[1]:
+        raise KernelError(f"SYRK shape mismatch: A {a.shape} vs C {c.shape}")
+    if a.rank > 0:
+        w = a.v.T @ a.v
+        x = a.u @ w
+        c.data -= x @ a.u.T
+    _count(counter, KernelClass.SYRK_LR, flops_syrk_lr(c.shape[0], a.rank))
+    return c
+
+
+def gemm_dense(
+    a: DenseTile, b: DenseTile, c: DenseTile, *, counter: FlopCounter | None = None
+) -> DenseTile:
+    """(1)-GEMM — dense ``C <- C - A @ B.T``, in place."""
+    c.data -= a.data @ b.data.T
+    _count(counter, KernelClass.GEMM_DENSE, flops_gemm_dense(c.shape[0]))
+    return c
+
+
+# ----------------------------------------------------------------------
+# Mixed-format GEMMs writing into a dense C (regions 2 and 3)
+# ----------------------------------------------------------------------
+def gemm_dense_lrd(
+    a: Tile, b: Tile, c: DenseTile, *, counter: FlopCounter | None = None
+) -> DenseTile:
+    """(2)-GEMM — dense C, exactly one low-rank operand.
+
+    ``C <- C - U_A (B V_A)^T`` when A is low-rank (the Cholesky case, since
+    ``A dense ⇒ B dense``), or symmetrically ``C <- C - (A V_B) U_B^T``.
+    """
+    if isinstance(a, LowRankTile) and isinstance(b, DenseTile):
+        if a.rank > 0:
+            c.data -= a.u @ (b.data @ a.v).T
+        k = a.rank
+    elif isinstance(a, DenseTile) and isinstance(b, LowRankTile):
+        if b.rank > 0:
+            c.data -= (a.data @ b.v) @ b.u.T
+        k = b.rank
+    else:
+        raise KernelError(
+            "(2)-GEMM requires exactly one low-rank operand, got "
+            f"A={type(a).__name__}, B={type(b).__name__}"
+        )
+    _count(counter, KernelClass.GEMM_DENSE_LRD, flops_gemm_dense_lrd(c.shape[0], k))
+    return c
+
+
+def gemm_dense_lrlr(
+    a: LowRankTile, b: LowRankTile, c: DenseTile, *, counter: FlopCounter | None = None
+) -> DenseTile:
+    """(3)-GEMM (new) — dense C, both operands low-rank.
+
+    ``C <- C - U_A (V_A^T V_B) U_B^T`` evaluated thin-first.
+    """
+    if a.rank > 0 and b.rank > 0:
+        w = a.v.T @ b.v
+        c.data -= (a.u @ w) @ b.u.T
+    _count(
+        counter,
+        KernelClass.GEMM_DENSE_LRLR,
+        flops_gemm_dense_lrlr(c.shape[0], a.rank, b.rank),
+    )
+    return c
+
+
+# ----------------------------------------------------------------------
+# GEMMs writing into a low-rank C (regions 5 and 6) — two-stage with
+# recompression at the memory-designation boundary
+# ----------------------------------------------------------------------
+def _lr_update_stacks(
+    c: LowRankTile, u_upd: np.ndarray, v_upd: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stage 1 of an LR GEMM: stack ``C - u_upd v_upd^T`` factors."""
+    u_stack = np.hstack([c.u, u_upd])
+    v_stack = np.hstack([c.v, -v_upd])
+    return u_stack, v_stack
+
+
+def gemm_lr_dense(
+    a: LowRankTile,
+    b: DenseTile,
+    c: LowRankTile,
+    rule: TruncationRule,
+    *,
+    counter: FlopCounter | None = None,
+) -> tuple[LowRankTile, RecompressionResult]:
+    """(5)-GEMM (new) — low-rank C, low-rank A, dense B.
+
+    ``A B^T = U_A (B V_A)^T`` is a rank-``k_A`` update; it is stacked onto
+    C (stage 1) and recompressed (stage 2).  The returned
+    :class:`RecompressionResult` carries the rank-growth flag that drives
+    the dynamic memory pool.
+    """
+    k = a.rank
+    u_upd = a.u
+    v_upd = b.data @ a.v if k > 0 else np.zeros((b.shape[0], 0))
+    u_stack, v_stack = _lr_update_stacks(c, u_upd, v_upd)
+    res = recompress(u_stack, v_stack, rule, previous_rank=c.rank)
+    _count(
+        counter,
+        KernelClass.GEMM_LR_DENSE,
+        flops_gemm_lr_dense_general(c.shape[0], c.rank, max(k, 1)),
+    )
+    return res.tile, res
+
+
+def gemm_lr(
+    a: LowRankTile,
+    b: LowRankTile,
+    c: LowRankTile,
+    rule: TruncationRule,
+    *,
+    counter: FlopCounter | None = None,
+) -> tuple[LowRankTile, RecompressionResult]:
+    """(6)-GEMM — all three tiles low-rank (HCORE_DGEMM).
+
+    ``A B^T = (U_A (V_A^T V_B)) U_B^T`` is a rank-``k_B`` update; stacked
+    onto C and recompressed.
+    """
+    if a.rank > 0 and b.rank > 0:
+        w = a.v.T @ b.v
+        u_upd = a.u @ w
+        v_upd = b.u
+    else:
+        u_upd = np.zeros((c.shape[0], 0))
+        v_upd = np.zeros((c.shape[1], 0))
+    u_stack, v_stack = _lr_update_stacks(c, u_upd, v_upd)
+    res = recompress(u_stack, v_stack, rule, previous_rank=c.rank)
+    _count(
+        counter,
+        KernelClass.GEMM_LR,
+        flops_gemm_lr_general(
+            c.shape[0], c.rank, max(a.rank, 1), max(b.rank, 1)
+        ),
+    )
+    return res.tile, res
+
+
+# ----------------------------------------------------------------------
+# Format-dispatching wrappers used by the tile algorithms
+# ----------------------------------------------------------------------
+def trsm_auto(
+    l_tile: DenseTile,
+    c: Tile,
+    *,
+    counter: FlopCounter | None = None,
+) -> Tile:
+    """Dispatch TRSM on the format of the panel tile ``c``."""
+    if isinstance(c, DenseTile):
+        return trsm_dense(l_tile, c, counter=counter)
+    return trsm_lr(l_tile, c, counter=counter)
+
+
+def syrk_auto(
+    a: Tile,
+    c: DenseTile,
+    *,
+    counter: FlopCounter | None = None,
+) -> DenseTile:
+    """Dispatch SYRK on the format of the panel tile ``a``."""
+    if isinstance(a, DenseTile):
+        return syrk_dense(a, c, counter=counter)
+    return syrk_lr(a, c, counter=counter)
+
+
+def gemm_auto(
+    a: Tile,
+    b: Tile,
+    c: Tile,
+    rule: TruncationRule,
+    *,
+    counter: FlopCounter | None = None,
+) -> tuple[Tile, KernelClass, RecompressionResult | None]:
+    """Dispatch ``C <- C - A B^T`` on the formats of all three tiles.
+
+    Returns the (possibly new) destination tile, the kernel class that ran,
+    and the recompression result for low-rank destinations (else ``None``).
+    """
+    if isinstance(c, DenseTile):
+        if isinstance(a, DenseTile) and isinstance(b, DenseTile):
+            return gemm_dense(a, b, c, counter=counter), KernelClass.GEMM_DENSE, None
+        if isinstance(a, LowRankTile) and isinstance(b, LowRankTile):
+            return (
+                gemm_dense_lrlr(a, b, c, counter=counter),
+                KernelClass.GEMM_DENSE_LRLR,
+                None,
+            )
+        return (
+            gemm_dense_lrd(a, b, c, counter=counter),
+            KernelClass.GEMM_DENSE_LRD,
+            None,
+        )
+    # Low-rank destination
+    if isinstance(a, LowRankTile) and isinstance(b, DenseTile):
+        tile, res = gemm_lr_dense(a, b, c, rule, counter=counter)
+        return tile, KernelClass.GEMM_LR_DENSE, res
+    if isinstance(a, DenseTile) and isinstance(b, LowRankTile):
+        # Mirror case (upper-triangular variants); reuse (5)-GEMM by symmetry:
+        # A B^T = (A V_B) U_B^T  — a rank-k_B update.
+        k = b.rank
+        u_upd = a.data @ b.v if k > 0 else np.zeros((a.shape[0], 0))
+        v_upd = b.u
+        u_stack, v_stack = _lr_update_stacks(c, u_upd, v_upd)
+        res = recompress(u_stack, v_stack, rule, previous_rank=c.rank)
+        _count(
+            counter,
+            KernelClass.GEMM_LR_DENSE,
+            flops_gemm_lr_dense_general(c.shape[0], c.rank, max(k, 1)),
+        )
+        return res.tile, KernelClass.GEMM_LR_DENSE, res
+    if isinstance(a, LowRankTile) and isinstance(b, LowRankTile):
+        tile, res = gemm_lr(a, b, c, rule, counter=counter)
+        return tile, KernelClass.GEMM_LR, res
+    raise KernelError(
+        "unsupported GEMM operand combination: "
+        f"A={type(a).__name__}, B={type(b).__name__}, C={type(c).__name__} "
+        "(dense A and B with low-rank C cannot arise in a banded Cholesky)"
+    )

@@ -1,0 +1,115 @@
+"""Mixed-precision low-rank storage (paper future work, Section IX).
+
+The paper closes by proposing to "combine [BAND-DENSE-TLR] with
+mixed-precision algorithms": off-band compressed tiles already carry an
+O(ε) approximation error, so storing their factors in single precision
+(unit roundoff ≈ 6e-8) costs nothing numerically whenever ε ≳ 1e-7 —
+while halving the off-band memory footprint and communication volume.
+
+Computation stays in double precision (BLAS upcasts); this module models
+the *storage* side:
+
+* :func:`quantize_tile` — pass a tile's payload through a lower-precision
+  dtype (the value error a real mixed store would incur);
+* :func:`demote_matrix` — quantize every compressed tile beyond a given
+  sub-diagonal distance, returning the demoted matrix and a
+  :class:`MixedPrecisionReport` with exact byte accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from .tiles import DenseTile, LowRankTile, Tile
+
+__all__ = ["quantize_tile", "demote_matrix", "MixedPrecisionReport"]
+
+_SUPPORTED = (np.float32, np.float16)
+
+
+def quantize_tile(tile: Tile, dtype=np.float32) -> Tile:
+    """Round a tile's payload through ``dtype`` (returned in float64).
+
+    The returned tile is numerically identical to what a true
+    ``dtype``-storage implementation would deliver to a double-precision
+    kernel.
+    """
+    if dtype not in _SUPPORTED:
+        raise ConfigurationError(
+            f"dtype must be one of {[d.__name__ for d in _SUPPORTED]}"
+        )
+    if isinstance(tile, DenseTile):
+        return DenseTile(tile.data.astype(dtype).astype(np.float64))
+    return LowRankTile(
+        tile.u.astype(dtype).astype(np.float64),
+        tile.v.astype(dtype).astype(np.float64),
+    )
+
+
+@dataclass(frozen=True)
+class MixedPrecisionReport:
+    """Byte accounting of a mixed-precision demotion.
+
+    Attributes
+    ----------
+    demoted_tiles:
+        Number of tiles stored in the lower precision.
+    bytes_full:
+        Footprint with everything in float64.
+    bytes_mixed:
+        Footprint with demoted tiles at the lower precision.
+    """
+
+    demoted_tiles: int
+    bytes_full: int
+    bytes_mixed: int
+
+    @property
+    def saving_factor(self) -> float:
+        return self.bytes_full / max(self.bytes_mixed, 1)
+
+
+def demote_matrix(
+    matrix,
+    *,
+    dtype=np.float32,
+    min_distance: int = 1,
+):
+    """Quantize compressed tiles at sub-diagonal distance >= ``min_distance``.
+
+    Parameters
+    ----------
+    matrix:
+        A :class:`~repro.matrix.BandTLRMatrix` (mutated copy returned).
+    dtype:
+        Storage precision for demoted tiles (float32 or float16).
+    min_distance:
+        Only tiles with ``i - j >= min_distance`` are demoted — near-band
+        tiles, whose accuracy matters most, stay in double.
+
+    Returns
+    -------
+    (matrix, MixedPrecisionReport)
+    """
+    if min_distance < 1:
+        raise ConfigurationError("min_distance must be >= 1")
+    itemsize = np.dtype(dtype).itemsize
+    out = matrix.copy()
+    demoted = 0
+    bytes_full = 0
+    bytes_mixed = 0
+    for (i, j), tile in out.tiles.items():
+        nbytes64 = tile.memory_elements() * 8
+        bytes_full += nbytes64
+        if isinstance(tile, LowRankTile) and (i - j) >= min_distance:
+            out.tiles[(i, j)] = quantize_tile(tile, dtype)
+            demoted += 1
+            bytes_mixed += tile.memory_elements() * itemsize
+        else:
+            bytes_mixed += nbytes64
+    return out, MixedPrecisionReport(
+        demoted_tiles=demoted, bytes_full=bytes_full, bytes_mixed=bytes_mixed
+    )

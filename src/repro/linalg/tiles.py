@@ -1,0 +1,152 @@
+"""Tile data structures: dense tiles and low-rank (U·Vᵀ) tiles.
+
+HiCMA's TLR format stores each compressed tile as two tall-and-skinny
+factors ``U`` (m×k) and ``V`` (n×k) with ``tile = U @ V.T`` — ``k`` is the
+tile's *rank*.  The paper's dynamic-memory contribution hinges on the
+distinction between
+
+* the **static descriptor** (PaRSEC-HiCMA-Prev): every compressed tile owns
+  ``2 * maxrank * b`` elements regardless of its actual rank, and
+* the **dynamic designation** (PaRSEC-HiCMA-New): every tile owns exactly
+  ``2 * k * b`` elements, reallocated when recompression grows the rank.
+
+Both accounting schemes are exposed here (:meth:`LowRankTile.memory_elements`)
+so the memory benchmarks (Fig. 8) can compare them on identical rank data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..utils.exceptions import KernelError
+
+__all__ = ["TileFormat", "DenseTile", "LowRankTile", "Tile"]
+
+
+class TileFormat(Enum):
+    """Storage layout of a tile."""
+
+    DENSE = "dense"
+    LOW_RANK = "low_rank"
+
+
+@dataclass
+class DenseTile:
+    """A dense ``m x n`` tile.
+
+    Attributes
+    ----------
+    data:
+        The tile entries, C-contiguous float64.
+    """
+
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.data = np.ascontiguousarray(self.data, dtype=np.float64)
+        if self.data.ndim != 2:
+            raise KernelError(f"dense tile must be 2-D, got shape {self.data.shape}")
+
+    @property
+    def format(self) -> TileFormat:
+        return TileFormat.DENSE
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape  # type: ignore[return-value]
+
+    @property
+    def rank(self) -> int:
+        """Storage rank of a dense tile: min(m, n) by convention."""
+        return min(self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Return the tile as a plain ndarray (no copy)."""
+        return self.data
+
+    def memory_elements(self, maxrank: int | None = None) -> int:
+        """Number of float64 elements stored (``m * n``)."""
+        return self.data.size
+
+    def copy(self) -> "DenseTile":
+        return DenseTile(self.data.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DenseTile(shape={self.shape})"
+
+
+@dataclass
+class LowRankTile:
+    """A rank-``k`` tile stored as ``U @ V.T``.
+
+    Attributes
+    ----------
+    u:
+        Left factor of shape ``(m, k)``.
+    v:
+        Right factor of shape ``(n, k)`` — note the HiCMA convention
+        ``tile = U @ V.T`` (V is *not* pre-transposed).
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.u = np.ascontiguousarray(self.u, dtype=np.float64)
+        self.v = np.ascontiguousarray(self.v, dtype=np.float64)
+        if self.u.ndim != 2 or self.v.ndim != 2:
+            raise KernelError(
+                f"low-rank factors must be 2-D, got U{self.u.shape} V{self.v.shape}"
+            )
+        if self.u.shape[1] != self.v.shape[1]:
+            raise KernelError(
+                f"rank mismatch: U has k={self.u.shape[1]}, V has k={self.v.shape[1]}"
+            )
+
+    @property
+    def format(self) -> TileFormat:
+        return TileFormat.LOW_RANK
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.u.shape[0], self.v.shape[0])
+
+    @property
+    def rank(self) -> int:
+        """Current numerical storage rank ``k``."""
+        return self.u.shape[1]
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense ndarray ``U @ V.T``."""
+        if self.rank == 0:
+            return np.zeros(self.shape)
+        return self.u @ self.v.T
+
+    def memory_elements(self, maxrank: int | None = None) -> int:
+        """Float64 elements stored.
+
+        With ``maxrank`` given, reports the *static descriptor* footprint
+        ``(m + n) * maxrank`` of PaRSEC-HiCMA-Prev; otherwise the exact
+        dynamic footprint ``(m + n) * k`` of PaRSEC-HiCMA-New.
+        """
+        m, n = self.shape
+        k = self.rank if maxrank is None else maxrank
+        return (m + n) * k
+
+    def copy(self) -> "LowRankTile":
+        return LowRankTile(self.u.copy(), self.v.copy())
+
+    @classmethod
+    def zero(cls, m: int, n: int) -> "LowRankTile":
+        """An exactly-zero tile of rank 0."""
+        return cls(np.zeros((m, 0)), np.zeros((n, 0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LowRankTile(shape={self.shape}, rank={self.rank})"
+
+
+#: Union type of the two tile flavours.
+Tile = DenseTile | LowRankTile

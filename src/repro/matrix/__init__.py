@@ -1,0 +1,22 @@
+"""Tile-matrix containers and memory accounting."""
+
+from .descriptor import TileDescriptor
+from .memory import (
+    BYTES_PER_ELEMENT,
+    MemoryReport,
+    MemoryTracker,
+    footprint_report,
+)
+from .io import load_matrix, save_matrix
+from .tlr_matrix import BandTLRMatrix
+
+__all__ = [
+    "TileDescriptor",
+    "BandTLRMatrix",
+    "save_matrix",
+    "load_matrix",
+    "MemoryReport",
+    "MemoryTracker",
+    "footprint_report",
+    "BYTES_PER_ELEMENT",
+]

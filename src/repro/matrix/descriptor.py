@@ -1,0 +1,124 @@
+"""Tile-matrix descriptors.
+
+A :class:`TileDescriptor` captures the blocking geometry of an ``n x n``
+symmetric tile matrix — tile size ``b``, tile count ``NT``, band
+membership — without owning any data.  It replaces ScaLAPACK's rigid
+uniform-block descriptor with the minimal geometry the rank-aware runtime
+needs; rank information lives alongside it (see
+:class:`repro.matrix.tlr_matrix.BandTLRMatrix`), which is precisely the
+"bridge" the paper builds between the library and the runtime.
+
+Band vocabulary (Section V): sub-diagonal ``d = m - n`` of tile ``(m, n)``
+has ``BAND_ID = d + 1``; tiles with ``BAND_ID <= BAND_SIZE`` are *on-band*
+(stored dense in BAND-DENSE-TLR), the rest are *off-band* (compressed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_positive_int
+
+__all__ = ["TileDescriptor"]
+
+
+@dataclass(frozen=True)
+class TileDescriptor:
+    """Blocking geometry of a symmetric ``n x n`` tile matrix.
+
+    Attributes
+    ----------
+    n:
+        Matrix dimension (number of rows = columns).
+    tile_size:
+        Nominal tile dimension ``b``; the last tile in each direction is
+        smaller when ``b`` does not divide ``n``.
+    """
+
+    n: int
+    tile_size: int
+
+    def __post_init__(self) -> None:
+        check_positive_int("n", self.n)
+        check_positive_int("tile_size", self.tile_size)
+        if self.tile_size > self.n:
+            raise ConfigurationError(
+                f"tile_size {self.tile_size} exceeds matrix size {self.n}"
+            )
+
+    @property
+    def ntiles(self) -> int:
+        """Number of tile rows/columns ``NT = ceil(n / b)``."""
+        return -(-self.n // self.tile_size)
+
+    def tile_dim(self, i: int) -> int:
+        """Row (= column) count of tile index ``i``."""
+        self._check(i)
+        if i == self.ntiles - 1:
+            return self.n - i * self.tile_size
+        return self.tile_size
+
+    def tile_slice(self, i: int) -> slice:
+        """Global index range covered by tile row/column ``i``."""
+        self._check(i)
+        lo = i * self.tile_size
+        return slice(lo, min(lo + self.tile_size, self.n))
+
+    def tile_shape(self, i: int, j: int) -> tuple[int, int]:
+        """Shape of tile ``(i, j)``."""
+        return (self.tile_dim(i), self.tile_dim(j))
+
+    # ------------------------------------------------------------------
+    # Band predicates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def band_id(i: int, j: int) -> int:
+        """``BAND_ID`` of tile ``(i, j)``: 1 on the diagonal, 2 on the first
+        sub-diagonal, and so on (Fig. 3a)."""
+        return abs(i - j) + 1
+
+    @staticmethod
+    def on_band(i: int, j: int, band_size: int) -> bool:
+        """True when tile ``(i, j)`` lies within ``band_size`` sub-diagonals."""
+        return abs(i - j) < band_size
+
+    # ------------------------------------------------------------------
+    # Iteration helpers (lower-triangular storage)
+    # ------------------------------------------------------------------
+    def lower_tiles(self):
+        """Yield all lower-triangular tile indices ``(i, j)`` with ``i >= j``."""
+        nt = self.ntiles
+        for i in range(nt):
+            for j in range(i + 1):
+                yield (i, j)
+
+    def subdiagonal_tiles(self, d: int):
+        """Yield the tile indices on sub-diagonal ``d`` (``d = 0`` is the
+        diagonal); there are ``NT - d`` of them."""
+        if not (0 <= d < self.ntiles):
+            raise ConfigurationError(
+                f"sub-diagonal {d} out of range [0, {self.ntiles})"
+            )
+        for j in range(self.ntiles - d):
+            yield (j + d, j)
+
+    def count_on_band(self, band_size: int) -> int:
+        """Number of lower-triangular tiles with ``BAND_ID <= band_size``."""
+        band_size = check_positive_int("band_size", band_size)
+        nt = self.ntiles
+        total = 0
+        for d in range(min(band_size, nt)):
+            total += nt - d
+        return total
+
+    def count_off_band(self, band_size: int) -> int:
+        """Number of lower-triangular tiles outside the band."""
+        nt = self.ntiles
+        return nt * (nt + 1) // 2 - self.count_on_band(band_size)
+
+    def _check(self, i: int) -> None:
+        if not (0 <= i < self.ntiles):
+            raise ConfigurationError(
+                f"tile index {i} out of range [0, {self.ntiles})"
+            )

@@ -1,0 +1,247 @@
+"""The BAND-DENSE-TLR symmetric tile matrix container.
+
+One container covers the paper's three operating points:
+
+* ``band_size = 1`` — classic TLR (only the diagonal is dense): the
+  PaRSEC-HiCMA-Prev layout;
+* ``1 < band_size < NT`` — BAND-DENSE-TLR: the paper's contribution;
+* ``band_size >= NT`` — fully dense tiled storage: the dense baseline.
+
+Only the lower triangle is stored (the matrix is symmetric; the paper's
+Fig. 3a).  On-band tiles are :class:`DenseTile`; off-band tiles are
+:class:`LowRankTile` compressed to the container's truncation rule.
+
+The container also implements the *densification/regeneration* step of the
+BAND_SIZE auto-tuning pipeline (Section VIII-B): after tuning picks a wider
+band, :meth:`with_band_size` regenerates on-band tiles in dense format from
+the original problem (cheap — ``O(NT * band_size)`` tiles) without touching
+the off-band compressed tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..linalg.compression import TruncationRule, compress_block
+from ..linalg.tiles import DenseTile, LowRankTile, Tile
+from ..statistics.problem import CovarianceProblem
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_positive_int
+from .descriptor import TileDescriptor
+
+__all__ = ["BandTLRMatrix"]
+
+
+@dataclass
+class BandTLRMatrix:
+    """Symmetric positive-definite matrix in BAND-DENSE-TLR tile storage.
+
+    Attributes
+    ----------
+    desc:
+        Blocking geometry.
+    band_size:
+        Number of dense sub-diagonals (diagonal included).
+    rule:
+        Truncation rule used for off-band tiles.
+    tiles:
+        Mapping ``(i, j) -> Tile`` over the lower triangle ``i >= j``.
+    """
+
+    desc: TileDescriptor
+    band_size: int
+    rule: TruncationRule
+    tiles: dict[tuple[int, int], Tile] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive_int("band_size", self.band_size)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_problem(
+        cls,
+        problem: CovarianceProblem,
+        rule: TruncationRule,
+        band_size: int = 1,
+    ) -> "BandTLRMatrix":
+        """Generate + compress a covariance problem into tile storage.
+
+        On-band tiles are generated dense; off-band tiles are generated
+        dense then immediately compressed and the dense buffer dropped —
+        the STARS-H -> HiCMA streaming pipeline, which never holds the full
+        dense matrix.
+        """
+        desc = TileDescriptor(problem.n, problem.tile_size)
+        mat = cls(desc=desc, band_size=band_size, rule=rule)
+        for i, j in desc.lower_tiles():
+            block = problem.tile(i, j)
+            if desc.on_band(i, j, band_size):
+                mat.tiles[(i, j)] = DenseTile(block)
+            else:
+                mat.tiles[(i, j)] = compress_block(block, rule)
+        return mat
+
+    @classmethod
+    def from_dense(
+        cls,
+        a: np.ndarray,
+        tile_size: int,
+        rule: TruncationRule,
+        band_size: int = 1,
+    ) -> "BandTLRMatrix":
+        """Tile + compress an explicit dense symmetric matrix (tests, demos)."""
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ConfigurationError(f"matrix must be square, got {a.shape}")
+        desc = TileDescriptor(a.shape[0], tile_size)
+        mat = cls(desc=desc, band_size=band_size, rule=rule)
+        for i, j in desc.lower_tiles():
+            block = a[desc.tile_slice(i), desc.tile_slice(j)].copy()
+            if desc.on_band(i, j, band_size):
+                mat.tiles[(i, j)] = DenseTile(block)
+            else:
+                mat.tiles[(i, j)] = compress_block(block, rule)
+        return mat
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def tile(self, i: int, j: int) -> Tile:
+        """The stored tile ``(i, j)``, lower triangle only (``i >= j``)."""
+        if i < j:
+            raise ConfigurationError(
+                f"only the lower triangle is stored, requested ({i}, {j})"
+            )
+        return self.tiles[(i, j)]
+
+    def set_tile(self, i: int, j: int, tile: Tile) -> None:
+        """Replace tile ``(i, j)`` (used by factorizations and the runtime)."""
+        if i < j:
+            raise ConfigurationError(
+                f"only the lower triangle is stored, requested ({i}, {j})"
+            )
+        expected = self.desc.tile_shape(i, j)
+        if tile.shape != expected:
+            raise ConfigurationError(
+                f"tile ({i}, {j}) must have shape {expected}, got {tile.shape}"
+            )
+        self.tiles[(i, j)] = tile
+
+    def is_dense(self, i: int, j: int) -> bool:
+        """True when tile ``(i, j)`` currently holds dense data."""
+        return isinstance(self.tile(i, j), DenseTile)
+
+    @property
+    def ntiles(self) -> int:
+        """Tile count per dimension."""
+        return self.desc.ntiles
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self.desc.n
+
+    # ------------------------------------------------------------------
+    # Rank & memory reporting (drives Figs. 1, 2b, 8)
+    # ------------------------------------------------------------------
+    def rank_grid(self) -> np.ndarray:
+        """``NT x NT`` array of off-band tile ranks (−1 elsewhere).
+
+        On-band (dense) tiles and the strict upper triangle are marked −1
+        so rank statistics can mask them out, as the paper's heat maps do.
+        """
+        nt = self.ntiles
+        grid = np.full((nt, nt), -1, dtype=np.int64)
+        for (i, j), tile in self.tiles.items():
+            if isinstance(tile, LowRankTile):
+                grid[i, j] = tile.rank
+        return grid
+
+    def rank_stats(self) -> tuple[int, float, int]:
+        """``(minrank, avgrank, maxrank)`` over compressed tiles.
+
+        Returns ``(0, 0.0, 0)`` when no tile is compressed (dense layout).
+        """
+        ranks = [t.rank for t in self.tiles.values() if isinstance(t, LowRankTile)]
+        if not ranks:
+            return (0, 0.0, 0)
+        return (int(min(ranks)), float(np.mean(ranks)), int(max(ranks)))
+
+    def memory_elements(self, *, static_maxrank: int | None = None) -> int:
+        """Total float64 elements stored in the lower triangle.
+
+        With ``static_maxrank`` the compressed tiles are accounted at the
+        PaRSEC-HiCMA-Prev static footprint ``2 * maxrank * b``; without it,
+        at the dynamic exact footprint ``2 * k * b`` (PaRSEC-HiCMA-New).
+        """
+        total = 0
+        for tile in self.tiles.values():
+            if isinstance(tile, LowRankTile) and static_maxrank is not None:
+                total += tile.memory_elements(maxrank=static_maxrank)
+            else:
+                total += tile.memory_elements()
+        return total
+
+    # ------------------------------------------------------------------
+    # Band re-generation (auto-tuning pipeline step 3)
+    # ------------------------------------------------------------------
+    def with_band_size(
+        self, band_size: int, problem: CovarianceProblem
+    ) -> "BandTLRMatrix":
+        """Re-target the matrix to a different ``band_size``.
+
+        Tiles that enter the band are regenerated dense from ``problem``;
+        tiles that leave the band are compressed from their dense data.
+        Off-band compressed tiles are shared (not copied) — regeneration
+        touches only ``O(NT * band_size)`` tiles, which is why Fig. 6d
+        finds its cost negligible.
+        """
+        check_positive_int("band_size", band_size)
+        if problem.n != self.n or problem.tile_size != self.desc.tile_size:
+            raise ConfigurationError(
+                "problem geometry does not match the matrix descriptor"
+            )
+        out = BandTLRMatrix(desc=self.desc, band_size=band_size, rule=self.rule)
+        for (i, j), tile in self.tiles.items():
+            now_banded = self.desc.on_band(i, j, band_size)
+            if now_banded and isinstance(tile, LowRankTile):
+                out.tiles[(i, j)] = DenseTile(problem.tile(i, j))
+            elif not now_banded and isinstance(tile, DenseTile):
+                out.tiles[(i, j)] = compress_block(tile.data, self.rule)
+            else:
+                out.tiles[(i, j)] = tile
+        return out
+
+    # ------------------------------------------------------------------
+    # Conversion / verification helpers
+    # ------------------------------------------------------------------
+    def to_dense(self, *, lower_only: bool = False) -> np.ndarray:
+        """Materialize the full matrix (small problems / tests).
+
+        With ``lower_only`` the strict upper triangle is left zero —
+        useful for comparing Cholesky factors.
+        """
+        n = self.n
+        out = np.zeros((n, n))
+        for (i, j), tile in self.tiles.items():
+            si, sj = self.desc.tile_slice(i), self.desc.tile_slice(j)
+            block = tile.to_dense()
+            out[si, sj] = block
+            if i != j and not lower_only:
+                out[sj, si] = block.T
+        return out
+
+    def copy(self) -> "BandTLRMatrix":
+        """Deep copy (tiles included)."""
+        out = BandTLRMatrix(desc=self.desc, band_size=self.band_size, rule=self.rule)
+        out.tiles = {ij: t.copy() for ij, t in self.tiles.items()}
+        return out
+
+    def compression_error(self, reference: np.ndarray) -> float:
+        """Relative Frobenius error against a dense reference matrix."""
+        diff = self.to_dense() - reference
+        return float(np.linalg.norm(diff) / np.linalg.norm(reference))

@@ -1,0 +1,49 @@
+"""The task runtime (PaRSEC substitute): graphs, executor, simulator."""
+
+from .calibration import calibrate_machine, measure_dense_gflops, measure_lr_efficiency
+from .dataflow import DataflowBreakdown, classify_dataflow, to_dot
+from .dtd import Access, TaskInserter, dtd_cholesky_graph
+from .executor import ExecutionReport, execute_graph
+from .graph import TaskGraph, build_cholesky_graph, classify_gemm
+from .jdf import CHOLESKY_JDF, cholesky_graph_from_jdf, compile_jdf, parse_jdf
+from .machine import SHAHEEN_II_LIKE, KernelRateModel, MachineSpec
+from .memory_pool import MemoryPool, PoolStats
+from .simulator import CommStats, SimResult, simulate
+from .solve_graph import SolveKind, build_solve_graph
+from .task import Edge, EdgeKind, Task, TaskKind, task_sort_key
+
+__all__ = [
+    "Access",
+    "DataflowBreakdown",
+    "classify_dataflow",
+    "to_dot",
+    "calibrate_machine",
+    "measure_dense_gflops",
+    "measure_lr_efficiency",
+    "TaskInserter",
+    "dtd_cholesky_graph",
+    "TaskGraph",
+    "build_cholesky_graph",
+    "CHOLESKY_JDF",
+    "compile_jdf",
+    "parse_jdf",
+    "cholesky_graph_from_jdf",
+    "classify_gemm",
+    "ExecutionReport",
+    "execute_graph",
+    "MachineSpec",
+    "KernelRateModel",
+    "SHAHEEN_II_LIKE",
+    "MemoryPool",
+    "PoolStats",
+    "CommStats",
+    "SimResult",
+    "simulate",
+    "SolveKind",
+    "build_solve_graph",
+    "Task",
+    "TaskKind",
+    "Edge",
+    "EdgeKind",
+    "task_sort_key",
+]

@@ -1,0 +1,240 @@
+"""Dynamic Task Discovery (DTD) — PaRSEC's second DSL, reimplemented.
+
+Section III-C: PaRSEC offers two ways to describe a DAG — the
+Parameterized Task Graph (PTG, used by the paper and by
+:mod:`repro.runtime.graph`) and *Dynamic Task Discovery*, where the user
+inserts tasks sequentially and the runtime infers dependencies from each
+task's declared data accesses (read / write / read-write on tiles).
+
+:class:`TaskInserter` reproduces DTD's discovery semantics:
+
+* a READ of a tile depends on the tile's last WRITER;
+* a WRITE/RW of a tile depends on the tile's last writer *and* on every
+  reader since (write-after-read), then becomes the new writer.
+
+The result is a plain :class:`~repro.runtime.graph.TaskGraph`, so DTD
+programs run on the same executor and simulator as PTG ones.  For the
+Cholesky algorithm the two frontends must unfold the *same* dependency
+structure — property-tested in ``tests/test_dtd.py`` — which mirrors how
+PaRSEC applications can switch DSLs without changing semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..linalg.flops import KernelClass
+from ..utils.exceptions import SchedulingError
+from .graph import RankFn, TaskGraph
+from .task import Edge, Task, TaskId, TaskKind
+
+__all__ = ["Access", "TaskInserter", "dtd_cholesky_graph"]
+
+
+class Access(Enum):
+    """Data-access mode of one task argument (PaRSEC's IN/OUT/INOUT)."""
+
+    READ = "read"
+    WRITE = "write"
+    RW = "rw"
+
+
+@dataclass
+class _TileState:
+    """Discovery bookkeeping for one tile."""
+
+    last_writer: TaskId | None = None
+    readers_since_write: list[TaskId] = field(default_factory=list)
+
+
+class TaskInserter:
+    """Sequential task insertion with automatic dependency discovery.
+
+    Parameters
+    ----------
+    ntiles, band_size, tile_size:
+        Graph geometry (forwarded to the produced :class:`TaskGraph`).
+    elements_fn:
+        Message size (in elements) of a tile, used to annotate dataflow
+        edges; defaults to dense ``b²`` for every tile.
+    """
+
+    def __init__(
+        self,
+        ntiles: int,
+        band_size: int,
+        tile_size: int,
+        elements_fn=None,
+    ) -> None:
+        self.graph = TaskGraph(
+            ntiles=ntiles, band_size=band_size, tile_size=tile_size
+        )
+        self._state: dict[tuple[int, int], _TileState] = {}
+        self._elements = elements_fn or (lambda i, j: tile_size * tile_size)
+        self._sealed = False
+
+    def _tile_state(self, tile: tuple[int, int]) -> _TileState:
+        return self._state.setdefault(tile, _TileState())
+
+    def insert(
+        self,
+        tid: TaskId,
+        kind: TaskKind,
+        kernel: KernelClass,
+        flops: float,
+        accesses: list[tuple[tuple[int, int], Access]],
+        *,
+        panel: int = 0,
+    ) -> None:
+        """Insert one task; dependencies are discovered from ``accesses``.
+
+        ``accesses`` lists ``(tile, mode)`` pairs in argument order.  The
+        task's output tile is its first WRITE/RW access (required).
+        """
+        if self._sealed:
+            raise SchedulingError("inserter already sealed")
+        deps: dict[TaskId, Edge] = {}
+        out_tile: tuple[int, int] | None = None
+
+        for tile, mode in accesses:
+            st = self._tile_state(tile)
+            if mode in (Access.READ, Access.RW):
+                # Read-after-write: the data dependency proper.
+                if st.last_writer is not None and st.last_writer != tid:
+                    deps.setdefault(
+                        st.last_writer,
+                        Edge(st.last_writer, tid, tile, self._elements(*tile)),
+                    )
+            if mode in (Access.WRITE, Access.RW):
+                if out_tile is None:
+                    out_tile = tile
+                # Write-after-write: output dependency on the last writer
+                # (pure ordering for a WRITE, already a payload edge for RW).
+                if st.last_writer is not None and st.last_writer != tid:
+                    deps.setdefault(
+                        st.last_writer, Edge(st.last_writer, tid, tile, 0)
+                    )
+                # Write-after-read: wait for every reader since the last
+                # write (pure ordering edges carry no payload).
+                for r in st.readers_since_write:
+                    if r != tid:
+                        deps.setdefault(r, Edge(r, tid, tile, 0))
+
+        if out_tile is None:
+            raise SchedulingError(f"task {tid} declares no WRITE access")
+
+        self.graph.add_task(
+            Task(
+                tid=tid,
+                kind=kind,
+                kernel=kernel,
+                flops=flops,
+                out_tile=out_tile,
+                deps=list(deps.values()),
+                panel=panel,
+            )
+        )
+
+        # Update discovery state *after* computing dependencies.
+        for tile, mode in accesses:
+            st = self._tile_state(tile)
+            if mode in (Access.WRITE, Access.RW):
+                st.last_writer = tid
+                st.readers_since_write = []
+            elif mode is Access.READ:
+                st.readers_since_write.append(tid)
+
+    def seal(self) -> TaskGraph:
+        """Finish insertion and return the discovered graph (validated)."""
+        self._sealed = True
+        self.graph.validate()
+        return self.graph
+
+
+def dtd_cholesky_graph(
+    ntiles: int,
+    band_size: int,
+    tile_size: int,
+    rank_fn: RankFn,
+) -> TaskGraph:
+    """The tile Cholesky written in DTD style: a sequential loop nest
+    inserting tasks with data-access annotations only.
+
+    Contrast with :func:`repro.runtime.graph.build_cholesky_graph`, which
+    wires every dependency explicitly (PTG style).  Both must produce the
+    same dataflow; tests assert graph equivalence.
+    """
+    from ..linalg.flops import (
+        flops_gemm_lr_dense_general,
+        flops_gemm_lr_general,
+        kernel_flops,
+    )
+    from .graph import _tile_elements, classify_gemm
+
+    def elements(i: int, j: int) -> int:
+        return _tile_elements(i, j, tile_size, band_size, rank_fn)
+
+    ins = TaskInserter(ntiles, band_size, tile_size, elements_fn=elements)
+    b = tile_size
+
+    def rank_of(i: int, j: int) -> int:
+        return rank_fn(i, j) if (i - j) >= band_size else 0
+
+    for k in range(ntiles):
+        ins.insert(
+            (TaskKind.POTRF, k),
+            TaskKind.POTRF,
+            KernelClass.POTRF_DENSE,
+            kernel_flops(KernelClass.POTRF_DENSE, b),
+            [((k, k), Access.RW)],
+            panel=k,
+        )
+        for m in range(k + 1, ntiles):
+            on_band = (m - k) < band_size
+            kc = KernelClass.TRSM_DENSE if on_band else KernelClass.TRSM_LR
+            ins.insert(
+                (TaskKind.TRSM, m, k),
+                TaskKind.TRSM,
+                kc,
+                kernel_flops(kc, b, rank_of(m, k)),
+                [((k, k), Access.READ), ((m, k), Access.RW)],
+                panel=k,
+            )
+        for n in range(k + 1, ntiles):
+            a_band = (n - k) < band_size
+            kc = KernelClass.SYRK_DENSE if a_band else KernelClass.SYRK_LR
+            ins.insert(
+                (TaskKind.SYRK, n, k),
+                TaskKind.SYRK,
+                kc,
+                kernel_flops(kc, b, rank_of(n, k)),
+                [((n, k), Access.READ), ((n, n), Access.RW)],
+                panel=k,
+            )
+            for m in range(n + 1, ntiles):
+                kc = classify_gemm(m, n, k, band_size)
+                ra, rb, rc = rank_of(m, k), rank_of(n, k), rank_of(m, n)
+                if kc is KernelClass.GEMM_DENSE:
+                    fl = kernel_flops(kc, b)
+                elif kc is KernelClass.GEMM_DENSE_LRD:
+                    fl = kernel_flops(kc, b, ra)
+                elif kc is KernelClass.GEMM_DENSE_LRLR:
+                    fl = kernel_flops(kc, b, ra, rb)
+                elif kc is KernelClass.GEMM_LR_DENSE:
+                    fl = flops_gemm_lr_dense_general(b, rc, max(ra, 1))
+                else:
+                    fl = flops_gemm_lr_general(b, rc, max(ra, 1), max(rb, 1))
+                ins.insert(
+                    (TaskKind.GEMM, m, n, k),
+                    TaskKind.GEMM,
+                    kc,
+                    fl,
+                    [
+                        ((m, k), Access.READ),
+                        ((n, k), Access.READ),
+                        ((m, n), Access.RW),
+                    ],
+                    panel=k,
+                )
+    return ins.seal()

@@ -1,0 +1,180 @@
+"""In-process executor: runs a Cholesky task graph with real numerics.
+
+The executor walks the same :class:`~repro.runtime.graph.TaskGraph` the
+simulator replays, but actually performs every HCORE kernel on a
+:class:`~repro.matrix.BandTLRMatrix` — validating that the unfolded DAG
+computes the same factor as the sequential reference algorithm (and hence
+that the simulator's timing applies to a correct execution).
+
+Tasks run in dependency (priority-topological) order on one process; the
+point here is numerical fidelity, not parallel speed — on this machine the
+BLAS underneath already uses the cores.
+
+Low-rank destinations exercise the dynamic-memory path: recompression
+output factors are re-associated with a :class:`MemoryPool` and rank-growth
+reallocations are counted, mirroring Section VII-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..linalg import hcore
+from ..linalg.compression import TruncationRule
+from ..linalg.flops import FlopCounter
+from ..linalg.tiles import LowRankTile
+from ..matrix.memory import MemoryTracker
+from ..matrix.tlr_matrix import BandTLRMatrix
+from ..utils.exceptions import RuntimeSystemError
+from .graph import TaskGraph
+from .memory_pool import MemoryPool
+from .task import TaskKind
+
+__all__ = ["ExecutionReport", "execute_graph"]
+
+
+@dataclass
+class ExecutionReport:
+    """Artifacts of a real (numerical) graph execution.
+
+    Attributes
+    ----------
+    counter:
+        Modelled flops actually incurred, by kernel class.
+    tracker:
+        Live memory accounting (current/peak/reallocations).
+    pool:
+        The dynamic memory pool used for low-rank factors.
+    rank_growth_events:
+        Number of recompressions whose output rank exceeded the
+        destination tile's previous rank (each triggers a reallocation).
+    max_rank_seen:
+        Largest low-rank tile rank observed during the factorization
+        (the paper's final maxrank, cf. Fig. 1).
+    tasks_executed:
+        Total tasks run.
+    """
+
+    counter: FlopCounter = field(default_factory=FlopCounter)
+    tracker: MemoryTracker = field(default_factory=MemoryTracker)
+    pool: MemoryPool = field(default_factory=MemoryPool)
+    rank_growth_events: int = 0
+    max_rank_seen: int = 0
+    tasks_executed: int = 0
+
+
+def execute_graph(
+    graph: TaskGraph,
+    matrix: BandTLRMatrix,
+    *,
+    rule: TruncationRule | None = None,
+    use_pool: bool = True,
+) -> ExecutionReport:
+    """Execute a (non-expanded) Cholesky task graph on ``matrix`` in place.
+
+    Parameters
+    ----------
+    graph:
+        Graph built by :func:`repro.runtime.graph.build_cholesky_graph`
+        *without* ``recursive_split`` (nested sub-tasks operate on views
+        the executor does not materialize; recursion is a simulator-side
+        concern — numerically the whole-tile kernel is identical).
+    matrix:
+        The compressed matrix to factorize; mutated into its Cholesky
+        factor (lower triangle).
+    rule:
+        Truncation rule for recompressions; defaults to the matrix's rule.
+    use_pool:
+        Re-associate recompression outputs with the pool (exercises the
+        dynamic-memory path; disable for pure-numerics runs).
+
+    Returns
+    -------
+    ExecutionReport
+    """
+    if graph.ntiles != matrix.ntiles:
+        raise RuntimeSystemError(
+            f"graph is for NT={graph.ntiles} but the matrix has NT={matrix.ntiles}"
+        )
+    if graph.band_size != matrix.band_size:
+        raise RuntimeSystemError(
+            f"graph band_size={graph.band_size} does not match "
+            f"matrix band_size={matrix.band_size}"
+        )
+    rule = rule or matrix.rule
+    report = ExecutionReport()
+    report.tracker.register_matrix(matrix)
+    pooled: set[int] = set()  # ids of factor arrays owned by the pool
+
+    for tid in graph.topological_order():
+        task = graph.tasks[tid]
+        if tid != _canonical_tid(task):
+            raise RuntimeSystemError(
+                "executor received an expanded graph; build it without "
+                "recursive_split"
+            )
+        kind = task.kind
+        if kind is TaskKind.POTRF:
+            (_, k) = tid
+            hcore.potrf_dense(
+                matrix.tile(k, k), counter=report.counter, tile_index=(k, k)
+            )
+        elif kind is TaskKind.TRSM:
+            (_, m, k) = tid
+            out = hcore.trsm_auto(
+                matrix.tile(k, k), matrix.tile(m, k), counter=report.counter
+            )
+            matrix.set_tile(m, k, out)
+        elif kind is TaskKind.SYRK:
+            (_, n, k) = tid
+            hcore.syrk_auto(
+                matrix.tile(n, k), matrix.tile(n, n), counter=report.counter
+            )
+        else:  # GEMM
+            (_, m, n, k) = tid
+            out, _, recomp = hcore.gemm_auto(
+                matrix.tile(m, k),
+                matrix.tile(n, k),
+                matrix.tile(m, n),
+                rule,
+                counter=report.counter,
+            )
+            if recomp is not None:
+                bm, bn = out.shape
+                # Transient stacked factors existed during recompression.
+                report.tracker.transient((bm + bn) * recomp.rank_before)
+                if recomp.grew:
+                    report.rank_growth_events += 1
+                if use_pool:
+                    # Release the destination's previous factors back to
+                    # the pool, then re-associate the fresh exact-size
+                    # buffers — Section VII-B's two-stage designation.
+                    old = matrix.tile(m, n)
+                    if isinstance(old, LowRankTile):
+                        for arr in (old.u, old.v):
+                            if id(arr) in pooled:
+                                pooled.discard(id(arr))
+                                report.pool.release(arr)
+                    if isinstance(out, LowRankTile) and out.rank > 0:
+                        out = LowRankTile(
+                            report.pool.take(out.u), report.pool.take(out.v)
+                        )
+                        pooled.add(id(out.u))
+                        pooled.add(id(out.v))
+                report.max_rank_seen = max(report.max_rank_seen, recomp.rank_after)
+            matrix.set_tile(m, n, out)
+            report.tracker.allocate_tile((m, n), out)
+        report.tasks_executed += 1
+
+    return report
+
+
+def _canonical_tid(task) -> tuple:
+    """The tile-level id a task of this kind/indices should carry."""
+    if task.kind is TaskKind.POTRF:
+        return (TaskKind.POTRF, task.out_tile[0])
+    if task.kind is TaskKind.TRSM:
+        return (TaskKind.TRSM, *task.out_tile)
+    if task.kind is TaskKind.SYRK:
+        return (TaskKind.SYRK, task.out_tile[0], task.panel)
+    return (TaskKind.GEMM, *task.out_tile, task.panel)

@@ -1,0 +1,427 @@
+"""Parameterized task-graph builder for the BAND-DENSE-TLR Cholesky.
+
+Builds the full dependency DAG (the unfolding of the PTG) for a given tile
+count ``NT``, band width, and per-tile rank information.  The same graph
+feeds the real executor (numerics) and the discrete-event simulator
+(timing), which is the property the validation strategy relies on.
+
+Dependency structure of the right-looking tile Cholesky::
+
+    POTRF(k)   <- SYRK(k, k-1)                       [tile (k,k), LOCAL chain]
+    TRSM(m,k)  <- POTRF(k)                           [tile (k,k), broadcast]
+               <- GEMM(m,k,k-1)                      [tile (m,k), LOCAL chain]
+    SYRK(n,k)  <- TRSM(n,k)                          [tile (n,k), p2p]
+               <- SYRK(n,k-1)                        [tile (n,n), LOCAL chain]
+    GEMM(m,n,k)<- TRSM(m,k)                          [tile (m,k), row bcast]
+               <- TRSM(n,k)                          [tile (n,k), col bcast]
+               <- GEMM(m,n,k-1)                      [tile (m,n), LOCAL chain]
+
+Kernel classes and Table-I costs are derived from the band predicate and
+the supplied rank function exactly as in :mod:`repro.linalg.flops`.
+
+Optionally, region-(1) (all-dense band) tasks are *expanded* into their
+nested recursive sub-graphs (Section VII-D): each expanded task becomes
+``fork -> sub-tasks -> join`` with zero-cost fork/join bookkeeping nodes,
+so external edges stay at the tile level while the simulator sees the
+extra concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..linalg.flops import (
+    KernelClass,
+    flops_gemm_dense,
+    flops_gemm_dense_lrd,
+    flops_gemm_dense_lrlr,
+    flops_gemm_lr_dense_general,
+    flops_gemm_lr_general,
+    flops_potrf_dense,
+    flops_syrk_dense,
+    flops_syrk_lr,
+    flops_trsm_dense,
+    flops_trsm_lr,
+)
+from ..linalg.recursive import recursive_task_costs
+from ..utils.exceptions import ConfigurationError, SchedulingError
+from ..utils.validation import check_positive_int
+from .task import Edge, Task, TaskId, TaskKind, task_sort_key
+
+__all__ = ["TaskGraph", "build_cholesky_graph", "classify_gemm", "RankFn"]
+
+#: Rank accessor: ``rank_fn(i, j) -> int`` for an off-band tile ``(i, j)``.
+RankFn = Callable[[int, int], int]
+
+
+@dataclass
+class TaskGraph:
+    """An unfolded task DAG with dataflow edges.
+
+    Attributes
+    ----------
+    ntiles:
+        Tile count per dimension.
+    band_size:
+        Dense band width used to classify kernels.
+    tile_size:
+        Nominal tile dimension ``b`` used for costs and message sizes.
+    tasks:
+        ``task id -> Task``.
+    succs:
+        ``task id -> outgoing edges`` (mirror of every task's ``deps``).
+    """
+
+    ntiles: int
+    band_size: int
+    tile_size: int
+    tasks: dict[TaskId, Task] = field(default_factory=dict)
+    succs: dict[TaskId, list[Edge]] = field(default_factory=dict)
+
+    def add_task(self, task: Task) -> None:
+        """Insert a task and index its dependency edges."""
+        if task.tid in self.tasks:
+            raise SchedulingError(f"duplicate task {task.tid}")
+        self.tasks[task.tid] = task
+        self.succs.setdefault(task.tid, [])
+        for e in task.deps:
+            if e.dst != task.tid:
+                raise SchedulingError(f"edge {e} does not target task {task.tid}")
+            self.succs.setdefault(e.src, []).append(e)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def total_flops(self) -> float:
+        """Sum of modelled flops over all tasks."""
+        return sum(t.flops for t in self.tasks.values())
+
+    def topological_order(self) -> list[TaskId]:
+        """Kahn topological order; raises on cycles.
+
+        Ties are broken by the scheduling priority so the order doubles as
+        a sensible serial execution order.
+        """
+        import heapq
+
+        indeg = {tid: len(t.deps) for tid, t in self.tasks.items()}
+        heap = [
+            (task_sort_key(self.tasks[tid]), tid)
+            for tid, d in indeg.items()
+            if d == 0
+        ]
+        heapq.heapify(heap)
+        order: list[TaskId] = []
+        while heap:
+            _, tid = heapq.heappop(heap)
+            order.append(tid)
+            for e in self.succs.get(tid, []):
+                indeg[e.dst] -= 1
+                if indeg[e.dst] == 0:
+                    heapq.heappush(heap, (task_sort_key(self.tasks[e.dst]), e.dst))
+        if len(order) != len(self.tasks):
+            raise SchedulingError(
+                f"task graph has a cycle: ordered {len(order)} of {len(self.tasks)}"
+            )
+        return order
+
+    def validate(self) -> None:
+        """Structural sanity: every edge endpoint exists, graph acyclic."""
+        for tid, t in self.tasks.items():
+            for e in t.deps:
+                if e.src not in self.tasks:
+                    raise SchedulingError(f"task {tid} depends on unknown {e.src}")
+        self.topological_order()
+
+    def critical_path_flops(self) -> float:
+        """Longest path weight (in flops) through the DAG.
+
+        A machine-independent lower-bound proxy for the makespan; the
+        recursive-kernel expansion exists precisely to shrink this.
+        """
+        order = self.topological_order()
+        dist = {tid: 0.0 for tid in order}
+        best = 0.0
+        for tid in order:
+            here = dist[tid] + self.tasks[tid].flops
+            best = max(best, here)
+            for e in self.succs.get(tid, []):
+                if here > dist[e.dst]:
+                    dist[e.dst] = here
+        return best
+
+
+def classify_gemm(
+    m: int, n: int, k: int, band_size: int
+) -> KernelClass:
+    """Kernel class of GEMM(m, n, k) under band width ``band_size``.
+
+    Uses the index identities ``n - k <= m - k`` (so *A dense ⇒ B dense*)
+    and ``m - k >= m - n`` (so *C low-rank ⇒ A low-rank*); see
+    :mod:`repro.linalg.flops`.
+    """
+    if not (m > n > k >= 0):
+        raise ConfigurationError(f"GEMM indices must satisfy m > n > k, got {m},{n},{k}")
+    c_dense = (m - n) < band_size
+    a_dense = (m - k) < band_size
+    b_dense = (n - k) < band_size
+    if c_dense:
+        if a_dense:  # implies b_dense
+            return KernelClass.GEMM_DENSE
+        return KernelClass.GEMM_DENSE_LRD if b_dense else KernelClass.GEMM_DENSE_LRLR
+    # C low-rank implies A low-rank
+    return KernelClass.GEMM_LR_DENSE if b_dense else KernelClass.GEMM_LR
+
+
+def _tile_elements(i: int, j: int, b: int, band_size: int, rank_fn: RankFn) -> int:
+    """Message size (elements) of tile ``(i, j)`` under the band layout."""
+    if (i - j) < band_size:
+        return b * b
+    return 2 * b * rank_fn(i, j)
+
+
+def build_cholesky_graph(
+    ntiles: int,
+    band_size: int,
+    tile_size: int,
+    rank_fn: RankFn,
+    *,
+    recursive_split: int | None = None,
+    recursive_kernels: frozenset[KernelClass] | set[KernelClass] | None = None,
+) -> TaskGraph:
+    """Unfold the BAND-DENSE-TLR Cholesky PTG into a concrete DAG.
+
+    Parameters
+    ----------
+    ntiles:
+        Number of tile rows/columns ``NT``.
+    band_size:
+        Dense band width (1 = pure TLR / HiCMA-Prev layout; >= NT = dense).
+    tile_size:
+        Nominal ``b`` for costs and message sizes.
+    rank_fn:
+        Rank of off-band tile ``(i, j)`` (used for costs/messages; the
+        builder never inspects tile data).
+    recursive_split:
+        When given (>= 2), region-(1) tasks are expanded into their nested
+        sub-graphs with this split factor (Section VII-D).
+    recursive_kernels:
+        Which region-(1) kernel classes to expand; defaults to all four.
+        PaRSEC-HiCMA-Prev recursed only POTRF ("nested computing"), so the
+        Table II comparison passes ``{KernelClass.POTRF_DENSE}`` for the
+        baseline and the full set for PaRSEC-HiCMA-New.
+
+    Returns
+    -------
+    TaskGraph
+    """
+    nt = check_positive_int("ntiles", ntiles)
+    band_size = check_positive_int("band_size", band_size)
+    b = check_positive_int("tile_size", tile_size)
+    if recursive_split is not None and recursive_split < 2:
+        raise ConfigurationError("recursive_split must be >= 2 when given")
+
+    g = TaskGraph(ntiles=nt, band_size=band_size, tile_size=b)
+
+    def elements(i: int, j: int) -> int:
+        return _tile_elements(i, j, b, band_size, rank_fn)
+
+    for k in range(nt):
+        # ---- POTRF(k) -------------------------------------------------
+        tid = (TaskKind.POTRF, k)
+        deps = []
+        if k > 0:
+            deps.append(Edge((TaskKind.SYRK, k, k - 1), tid, (k, k), b * b))
+        g.add_task(
+            Task(
+                tid=tid,
+                kind=TaskKind.POTRF,
+                kernel=KernelClass.POTRF_DENSE,
+                flops=flops_potrf_dense(b),
+                out_tile=(k, k),
+                deps=deps,
+                panel=k,
+            )
+        )
+
+        for m in range(k + 1, nt):
+            # ---- TRSM(m, k) -------------------------------------------
+            tid = (TaskKind.TRSM, m, k)
+            on_band = (m - k) < band_size
+            kernel = KernelClass.TRSM_DENSE if on_band else KernelClass.TRSM_LR
+            r_trsm = 0 if on_band else rank_fn(m, k)
+            fl = flops_trsm_dense(b) if on_band else flops_trsm_lr(b, r_trsm)
+            deps = [Edge((TaskKind.POTRF, k), tid, (k, k), b * b)]
+            if k > 0:
+                deps.append(
+                    Edge((TaskKind.GEMM, m, k, k - 1), tid, (m, k), elements(m, k))
+                )
+            g.add_task(
+                Task(
+                    tid=tid,
+                    kind=TaskKind.TRSM,
+                    kernel=kernel,
+                    flops=fl,
+                    out_tile=(m, k),
+                    deps=deps,
+                    panel=k,
+                    rank_hint=r_trsm,
+                )
+            )
+
+        for n in range(k + 1, nt):
+            # ---- SYRK(n, k) -------------------------------------------
+            tid = (TaskKind.SYRK, n, k)
+            a_on_band = (n - k) < band_size
+            kernel = KernelClass.SYRK_DENSE if a_on_band else KernelClass.SYRK_LR
+            r_syrk = 0 if a_on_band else rank_fn(n, k)
+            fl = flops_syrk_dense(b) if a_on_band else flops_syrk_lr(b, r_syrk)
+            deps = [Edge((TaskKind.TRSM, n, k), tid, (n, k), elements(n, k))]
+            if k > 0:
+                deps.append(Edge((TaskKind.SYRK, n, k - 1), tid, (n, n), b * b))
+            g.add_task(
+                Task(
+                    tid=tid,
+                    kind=TaskKind.SYRK,
+                    kernel=kernel,
+                    flops=fl,
+                    out_tile=(n, n),
+                    deps=deps,
+                    panel=k,
+                    rank_hint=r_syrk,
+                )
+            )
+
+            for m in range(n + 1, nt):
+                # ---- GEMM(m, n, k) ------------------------------------
+                tid = (TaskKind.GEMM, m, n, k)
+                kernel = classify_gemm(m, n, k, band_size)
+                ra = rank_fn(m, k) if (m - k) >= band_size else 0
+                rb = rank_fn(n, k) if (n - k) >= band_size else 0
+                rc = rank_fn(m, n) if (m - n) >= band_size else 0
+                if kernel is KernelClass.GEMM_DENSE:
+                    fl = flops_gemm_dense(b)
+                elif kernel is KernelClass.GEMM_DENSE_LRD:
+                    fl = flops_gemm_dense_lrd(b, ra)
+                elif kernel is KernelClass.GEMM_DENSE_LRLR:
+                    fl = flops_gemm_dense_lrlr(b, ra, rb)
+                elif kernel is KernelClass.GEMM_LR_DENSE:
+                    fl = flops_gemm_lr_dense_general(b, rc, max(ra, 1))
+                else:
+                    fl = flops_gemm_lr_general(b, rc, max(ra, 1), max(rb, 1))
+                deps = [
+                    Edge((TaskKind.TRSM, m, k), tid, (m, k), elements(m, k)),
+                    Edge((TaskKind.TRSM, n, k), tid, (n, k), elements(n, k)),
+                ]
+                if k > 0:
+                    deps.append(
+                        Edge((TaskKind.GEMM, m, n, k - 1), tid, (m, n), elements(m, n))
+                    )
+                g.add_task(
+                    Task(
+                        tid=tid,
+                        kind=TaskKind.GEMM,
+                        kernel=kernel,
+                        flops=fl,
+                        out_tile=(m, n),
+                        deps=deps,
+                        panel=k,
+                        rank_hint=max(ra, rb, rc),
+                    )
+                )
+
+    if recursive_split is not None:
+        g = expand_recursive(g, recursive_split, kernels=recursive_kernels)
+    return g
+
+
+def expand_recursive(
+    g: TaskGraph,
+    split: int,
+    *,
+    kernels: frozenset[KernelClass] | set[KernelClass] | None = None,
+) -> TaskGraph:
+    """Expand region-(1) tasks into nested sub-graphs (fork/join framed).
+
+    Every dense-band task becomes::
+
+        external deps -> FORK -> sub-tasks (recursive graph) -> JOIN -> succs
+
+    Fork/join are zero-flop bookkeeping nodes placed on the same tile so
+    the simulator's owner-computes placement keeps the whole nest local —
+    PaRSEC's nested tasks likewise never migrate.
+
+    ``kernels`` restricts expansion to a subset of the region-(1) classes
+    (default: all four).
+    """
+    check_positive_int("split", split)
+    if kernels is None:
+        kernels = {k for k in KernelClass if k.is_band_kernel}
+    out = TaskGraph(
+        ntiles=g.ntiles, band_size=g.band_size, tile_size=g.tile_size
+    )
+    # Tasks that expand keep their tid for the JOIN node so external
+    # edges (which reference the original tid) stay valid.
+    for tid in g.topological_order():
+        t = g.tasks[tid]
+        if not (t.kernel.is_band_kernel and t.kernel in kernels):
+            out.add_task(
+                Task(
+                    tid=t.tid,
+                    kind=t.kind,
+                    kernel=t.kernel,
+                    flops=t.flops,
+                    out_tile=t.out_tile,
+                    deps=list(t.deps),
+                    panel=t.panel,
+                    rank_hint=t.rank_hint,
+                )
+            )
+            continue
+
+        costs = recursive_task_costs(t.kernel, g.tile_size, split)
+        fork_id = t.tid + ("fork",)
+        out.add_task(
+            Task(
+                tid=fork_id,
+                kind=t.kind,
+                kernel=t.kernel,
+                flops=0.0,
+                out_tile=t.out_tile,
+                deps=[Edge(e.src, fork_id, e.tile, e.elements) for e in t.deps],
+                panel=t.panel,
+            )
+        )
+        sub_ids = [t.tid + ("sub", idx) for idx in range(len(costs))]
+        dependents: set[int] = set()
+        for idx, c in enumerate(costs):
+            deps = [Edge(sub_ids[d], sub_ids[idx], t.out_tile, 0) for d in c.deps]
+            if not c.deps:
+                deps.append(Edge(fork_id, sub_ids[idx], t.out_tile, 0))
+            dependents.update(c.deps)
+            out.add_task(
+                Task(
+                    tid=sub_ids[idx],
+                    kind=t.kind,
+                    kernel=c.kind,
+                    flops=c.flops,
+                    out_tile=t.out_tile,
+                    deps=deps,
+                    panel=t.panel,
+                )
+            )
+        exits = [sub_ids[i] for i in range(len(costs)) if i not in dependents]
+        out.add_task(
+            Task(
+                tid=t.tid,  # JOIN inherits the original id
+                kind=t.kind,
+                kernel=t.kernel,
+                flops=0.0,
+                out_tile=t.out_tile,
+                deps=[Edge(x, t.tid, t.out_tile, 0) for x in exits],
+                panel=t.panel,
+            )
+        )
+    return out

@@ -1,0 +1,102 @@
+"""Reusable dynamic memory pool (Section VII-B).
+
+PaRSEC lets user code allocate exactly the memory a task's output needs
+from a reusable pool and re-associate it with the runtime — the feature
+behind the paper's 44x footprint reduction and its ability to reallocate a
+tile between the two stages of a low-rank GEMM when recompression grows
+the rank.
+
+:class:`MemoryPool` reproduces those semantics for NumPy buffers: requests
+are served from per-size free lists when possible (a *reuse*) and from the
+allocator otherwise (a *miss*); releases return buffers to the free lists.
+The pool tracks outstanding and peak bytes so executors can report memory
+behaviour faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.exceptions import MemoryPoolError
+
+__all__ = ["MemoryPool", "PoolStats"]
+
+
+@dataclass
+class PoolStats:
+    """Counters of pool activity."""
+
+    allocations: int = 0
+    reuses: int = 0
+    releases: int = 0
+    outstanding_bytes: int = 0
+    peak_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.allocations + self.reuses
+        return self.reuses / total if total else 0.0
+
+
+class MemoryPool:
+    """A size-classed reusable buffer pool for float64 arrays.
+
+    Buffers are keyed by their flat element count and reshaped on reuse —
+    a ``(b, k)`` factor released by one tile can serve another tile's
+    ``(k, b)`` workspace.  Double releases are detected and rejected.
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[int, list[np.ndarray]] = {}
+        self._live: set[int] = set()
+        self.stats = PoolStats()
+
+    def allocate(self, shape: tuple[int, ...]) -> np.ndarray:
+        """A float64 buffer of ``shape``, reused when a match exists.
+
+        Reused buffers are *not* zeroed (matching real pool semantics);
+        callers must fully overwrite them.
+        """
+        nelem = int(np.prod(shape))
+        bucket = self._free.get(nelem)
+        if bucket:
+            buf = bucket.pop().reshape(shape)
+            self.stats.reuses += 1
+        else:
+            buf = np.empty(shape, dtype=np.float64)
+            self.stats.allocations += 1
+        self._live.add(id(buf))
+        self.stats.outstanding_bytes += buf.nbytes
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.outstanding_bytes)
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        """Return a buffer to the pool for reuse."""
+        if id(buf) not in self._live:
+            raise MemoryPoolError(
+                "releasing a buffer the pool does not own (double free?)"
+            )
+        self._live.discard(id(buf))
+        self.stats.releases += 1
+        self.stats.outstanding_bytes -= buf.nbytes
+        flat = buf.reshape(-1)
+        self._free.setdefault(flat.size, []).append(flat)
+
+    def take(self, array: np.ndarray) -> np.ndarray:
+        """Adopt an externally created array into the pool's accounting.
+
+        Used when a kernel produced new factors (e.g. recompression output)
+        that should live in pool-managed memory from now on: the data is
+        copied into a pool buffer, mirroring PaRSEC's re-association of
+        freshly sized memory with the runtime.
+        """
+        buf = self.allocate(array.shape)
+        buf[...] = array
+        return buf
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently parked in the free lists."""
+        return sum(8 * n * len(bufs) for n, bufs in self._free.items())

@@ -1,0 +1,125 @@
+"""Task graphs for the TLR triangular solves (forward/backward).
+
+The factorization is only half of the MLE inner loop; the solves
+``L y = z`` and ``L^T x = y`` also run distributed at scale.  Their PTG
+unfolds a much thinner DAG than Cholesky's:
+
+* ``FSOLVE(i)``  — apply ``L(i,i)^{-1}`` to block ``i`` of the vector;
+* ``FUPDATE(i, j)`` — ``y_i -= L(i, j) @ y_j`` for ``j < i``;
+
+(and mirrored for the backward sweep).  Updates into one block chain
+sequentially (they read-modify-write the same vector block), which is
+what makes triangular solves latency-bound: the critical path has length
+``NT`` regardless of width — a well-known contrast with the factorization
+that the simulator exposes directly.
+
+Vector blocks are owned by the owner of the corresponding *diagonal*
+tile, so solve placement is consistent with any matrix distribution.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..linalg.flops import KernelClass
+from ..utils.validation import check_positive_int
+from .graph import RankFn, TaskGraph
+from .task import Edge, Task, TaskKind
+
+__all__ = ["SolveKind", "build_solve_graph"]
+
+
+class SolveKind(Enum):
+    """Direction of the triangular solve."""
+
+    FORWARD = "forward"  # L y = b
+    BACKWARD = "backward"  # L^T x = b
+
+
+def _apply_flops(b: int, on_band: bool, rank: int) -> float:
+    """Flops of one off-diagonal tile application to a vector block."""
+    if on_band:
+        return 2.0 * b * b
+    return 4.0 * b * rank  # two thin products
+
+
+def build_solve_graph(
+    ntiles: int,
+    band_size: int,
+    tile_size: int,
+    rank_fn: RankFn,
+    *,
+    kind: SolveKind = SolveKind.FORWARD,
+) -> TaskGraph:
+    """Unfold the triangular-solve PTG for a factored BAND-DENSE-TLR matrix.
+
+    Task classes reuse the Cholesky kinds for scheduling purposes:
+    ``TRSM`` for the diagonal solves, ``GEMM`` for the updates — their
+    priorities behave identically (panel = block index).
+    """
+    nt = check_positive_int("ntiles", ntiles)
+    check_positive_int("band_size", band_size)
+    b = check_positive_int("tile_size", tile_size)
+    g = TaskGraph(ntiles=nt, band_size=band_size, tile_size=b)
+
+    forward = kind is SolveKind.FORWARD
+    order = range(nt) if forward else range(nt - 1, -1, -1)
+
+    last_touch: dict[int, tuple] = {}  # vector block -> last writer task
+
+    for i in order:
+        # Updates into block i from already-solved blocks j.
+        js = range(i) if forward else range(nt - 1, i, -1)
+        for j in js:
+            lo, hi = (i, j) if forward else (j, i)  # stored tile (hi row >= lo col)
+            tid = (TaskKind.GEMM, "solve", i, j)
+            on_band = abs(lo - hi) < band_size
+            rank = 0 if on_band else rank_fn(max(lo, hi), min(lo, hi))
+            deps = []
+            # Needs the solved source block j...
+            src = last_touch.get(j)
+            if src is not None:
+                deps.append(Edge(src, tid, _vec_tile(j), b))
+            # ...and the previous update into block i (RMW chain).
+            prev = last_touch.get(i)
+            if prev is not None:
+                deps.append(Edge(prev, tid, _vec_tile(i), b))
+            g.add_task(
+                Task(
+                    tid=tid,
+                    kind=TaskKind.GEMM,
+                    kernel=KernelClass.GEMM_DENSE_LRD
+                    if not on_band
+                    else KernelClass.GEMM_DENSE,
+                    flops=_apply_flops(b, on_band, rank),
+                    out_tile=_vec_tile(i),
+                    deps=deps,
+                    panel=min(i, j),
+                )
+            )
+            last_touch[i] = tid
+
+        # Diagonal solve of block i.
+        tid = (TaskKind.TRSM, "solve", i)
+        deps = []
+        prev = last_touch.get(i)
+        if prev is not None:
+            deps.append(Edge(prev, tid, _vec_tile(i), b))
+        g.add_task(
+            Task(
+                tid=tid,
+                kind=TaskKind.TRSM,
+                kernel=KernelClass.TRSM_DENSE,
+                flops=float(b * b),
+                out_tile=_vec_tile(i),
+                deps=deps,
+                panel=i,
+            )
+        )
+        last_touch[i] = tid
+    return g
+
+
+def _vec_tile(i: int) -> tuple[int, int]:
+    """Vector block ``i`` placed with the diagonal tile ``(i, i)``."""
+    return (i, i)

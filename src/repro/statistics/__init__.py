@@ -1,0 +1,17 @@
+"""Statistical kernels and covariance problems (STARS-H substitute)."""
+
+from .matern import ST_3D_EXP, MaternParams, matern, matern_exponential
+from .problem import CovarianceProblem, st_2d_exp_problem, st_3d_exp_problem
+from .spectra import rank_grids_for_thresholds, subdiagonal_singular_values
+
+__all__ = [
+    "ST_3D_EXP",
+    "MaternParams",
+    "matern",
+    "matern_exponential",
+    "CovarianceProblem",
+    "st_3d_exp_problem",
+    "st_2d_exp_problem",
+    "rank_grids_for_thresholds",
+    "subdiagonal_singular_values",
+]

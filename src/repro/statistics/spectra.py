@@ -1,0 +1,80 @@
+"""Multi-threshold rank analysis from a single SVD sweep.
+
+The accuracy-threshold studies (Fig. 13) need the post-compression rank
+grid of the same operator at several ε.  Compressing the matrix once per
+threshold repeats the dominant SVD cost; since the truncation rank is a
+pure function of each tile's singular-value profile, one SVD pass yields
+the rank grids for *every* threshold at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..linalg.compression import TruncationRule, truncation_rank
+from ..utils.exceptions import ProblemError
+from .problem import CovarianceProblem
+
+__all__ = ["subdiagonal_singular_values", "rank_grids_for_thresholds"]
+
+
+def subdiagonal_singular_values(
+    problem: CovarianceProblem, *, max_subdiagonal: int | None = None
+) -> dict[tuple[int, int], np.ndarray]:
+    """Singular-value profiles of every off-diagonal lower tile.
+
+    Parameters
+    ----------
+    problem:
+        The covariance problem (tiles generated lazily, one at a time).
+    max_subdiagonal:
+        Only analyze tiles with ``i - j <= max_subdiagonal`` (the far
+        tiles' ranks are rarely interesting); ``None`` analyzes all.
+
+    Returns
+    -------
+    dict
+        ``(i, j) -> descending singular values`` for each analyzed tile.
+    """
+    nt = problem.ntiles
+    if nt < 2:
+        raise ProblemError("need at least two tile rows for off-diagonal tiles")
+    out: dict[tuple[int, int], np.ndarray] = {}
+    for i in range(nt):
+        for j in range(i):
+            if max_subdiagonal is not None and (i - j) > max_subdiagonal:
+                continue
+            block = problem.tile(i, j)
+            out[(i, j)] = sla.svd(block, compute_uv=False)
+    return out
+
+
+def rank_grids_for_thresholds(
+    problem: CovarianceProblem,
+    thresholds: list[float],
+    *,
+    norm: str = "spectral",
+    relative: bool = False,
+) -> dict[float, np.ndarray]:
+    """Rank grids of the compressed operator at several thresholds.
+
+    One SVD per tile serves every threshold — the rank at ε is just the
+    truncation rank of the stored singular values.
+
+    Returns
+    -------
+    dict
+        ``eps -> NT x NT rank grid`` (−1 on the diagonal and upper
+        triangle, matching :meth:`BandTLRMatrix.rank_grid`).
+    """
+    spectra = subdiagonal_singular_values(problem)
+    nt = problem.ntiles
+    grids: dict[float, np.ndarray] = {}
+    for eps in thresholds:
+        rule = TruncationRule(eps=eps, norm=norm, relative=relative)
+        grid = np.full((nt, nt), -1, dtype=np.int64)
+        for (i, j), s in spectra.items():
+            grid[i, j] = truncation_rank(s, rule)
+        grids[eps] = grid
+    return grids

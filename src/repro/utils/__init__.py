@@ -1,0 +1,48 @@
+"""Shared utilities: exceptions, validation, timing."""
+
+from .exceptions import (
+    CompressionError,
+    ConfigurationError,
+    DistributionError,
+    KernelError,
+    MemoryPoolError,
+    NotPositiveDefiniteError,
+    ProblemError,
+    ReproError,
+    RuntimeSystemError,
+    SchedulingError,
+)
+from .timing import Stopwatch, Timer
+from .validation import (
+    check_in,
+    check_index,
+    check_matrix,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_square_matrix,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProblemError",
+    "CompressionError",
+    "KernelError",
+    "NotPositiveDefiniteError",
+    "DistributionError",
+    "RuntimeSystemError",
+    "SchedulingError",
+    "MemoryPoolError",
+    "Timer",
+    "Stopwatch",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_probability",
+    "check_in",
+    "check_matrix",
+    "check_square_matrix",
+    "check_index",
+]

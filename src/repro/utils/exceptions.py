@@ -1,0 +1,72 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-classes delineate the layer that raised the error:
+problem construction, numerical kernels, the runtime, or configuration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProblemError",
+    "CompressionError",
+    "KernelError",
+    "NotPositiveDefiniteError",
+    "DistributionError",
+    "RuntimeSystemError",
+    "SchedulingError",
+    "MemoryPoolError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter combination was supplied by the user."""
+
+
+class ProblemError(ReproError):
+    """Problem generation (geometry or covariance kernel) failed."""
+
+
+class CompressionError(ReproError):
+    """A tile could not be compressed to the requested accuracy envelope."""
+
+
+class KernelError(ReproError):
+    """A numerical (HCORE) kernel received incompatible operands."""
+
+
+class NotPositiveDefiniteError(KernelError):
+    """Cholesky factorization hit a non-positive pivot.
+
+    Attributes
+    ----------
+    tile_index:
+        Index ``(k, k)`` of the diagonal tile where the failure occurred,
+        or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, tile_index: tuple[int, int] | None = None):
+        super().__init__(message)
+        self.tile_index = tile_index
+
+
+class DistributionError(ReproError):
+    """A data-distribution query was inconsistent (tile out of range, ...)."""
+
+
+class RuntimeSystemError(ReproError):
+    """Generic failure inside the task runtime (executor or simulator)."""
+
+
+class SchedulingError(RuntimeSystemError):
+    """The scheduler detected an impossible state (cycle, orphan task...)."""
+
+
+class MemoryPoolError(RuntimeSystemError):
+    """The dynamic memory allocator detected a misuse (double free, ...)."""

@@ -1,0 +1,85 @@
+"""Wall-clock timing utilities used by benchmarks and the auto-tuner.
+
+The :class:`Stopwatch` accumulates named intervals so a benchmark can report
+per-phase timings (e.g. "compression", "auto-tuning", "factorization") the
+way the paper's Fig. 6(d) splits tuning cost from factorization cost.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Timer:
+    """A context manager measuring a single wall-clock interval.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     sum(range(100))
+    4950
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock intervals.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw.measure("phase_a"):
+    ...     _ = sum(range(10))
+    >>> "phase_a" in sw.totals
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        """Time the enclosed block and add it to the ``name`` bucket."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            dt = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never measured)."""
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per interval under ``name`` (0.0 if never measured)."""
+        n = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / n if n else 0.0
+
+    def report(self) -> str:
+        """Human-readable multi-line summary, longest phase first."""
+        lines = ["phase                          total(s)   calls    mean(s)"]
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{name:<28} {self.totals[name]:>10.4f} {self.counts[name]:>7d} "
+                f"{self.mean(name):>10.6f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Shared fixtures: small covariance problems and their dense references.
+
+Problem generation and dense materialization dominate test runtime, so the
+standard small problems are session-scoped.  Tests must not mutate these
+fixtures — factorization tests copy the matrices they modify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule, st_3d_exp_problem
+from repro.matrix import BandTLRMatrix
+
+
+@pytest.fixture(scope="session")
+def small_problem():
+    """A 512-point st-3D-exp problem with 64-point tiles (NT = 8)."""
+    return st_3d_exp_problem(512, 64, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_dense(small_problem):
+    """Dense covariance of :func:`small_problem`."""
+    return small_problem.dense()
+
+
+@pytest.fixture(scope="session")
+def medium_problem():
+    """A 1500-point st-3D-exp problem with 125-point tiles (NT = 12)."""
+    return st_3d_exp_problem(1500, 125, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_dense(medium_problem):
+    return medium_problem.dense()
+
+
+@pytest.fixture(scope="session")
+def rule8():
+    """The paper's default accuracy threshold, 1e-8."""
+    return TruncationRule(eps=1e-8)
+
+
+@pytest.fixture()
+def small_tlr(small_problem, rule8):
+    """Fresh band-1 compressed matrix of the small problem (mutable)."""
+    return BandTLRMatrix.from_problem(small_problem, rule8, band_size=1)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2021)

@@ -1,0 +1,188 @@
+"""Unit tests for the analysis subpackage (ranks, metrics, reports)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RankModel,
+    format_series,
+    format_table,
+    occupancy_summary,
+    panel_release_gain,
+    paper_rank_model,
+    rank_ratios,
+    rank_stats,
+    render_rank_grid,
+    speedup,
+    strong_scaling_efficiency,
+    weak_scaling_efficiency,
+    write_csv,
+)
+from repro.utils import ConfigurationError
+
+
+class TestRankStats:
+    def test_ignores_negative(self):
+        g = np.array([[-1, -1], [5, -1]])
+        s = rank_stats(g)
+        assert (s.minrank, s.maxrank, s.n_tiles) == (5, 5, 1)
+
+    def test_empty(self):
+        s = rank_stats(np.full((3, 3), -1))
+        assert s.n_tiles == 0
+
+    def test_ratios(self):
+        g = np.array([[-1, -1], [50, -1]])
+        rm, rd = rank_ratios(g, 100)
+        assert rm == 0.5
+        assert rd == 0.0
+
+    def test_str(self):
+        assert "maxrank" in str(rank_stats(np.array([[3]])))
+
+
+class TestRenderRankGrid:
+    def test_dense_marked_dot(self):
+        out = render_rank_grid(np.array([[-1, -1], [7, -1]]))
+        assert "." in out and "7" in out
+
+    def test_large_grid_decimated(self):
+        out = render_rank_grid(np.zeros((100, 100), dtype=int), max_dim=10)
+        assert "every" in out
+
+
+class TestRankModel:
+    def test_decay_monotone(self):
+        m = RankModel(tile_size=256, k1=100, alpha=0.8)
+        ranks = [m.rank(d, 0) for d in range(1, 20)]
+        assert all(a >= b for a, b in zip(ranks, ranks[1:]))
+
+    def test_floor_respected(self):
+        m = RankModel(tile_size=256, k1=100, alpha=2.0, kmin=6)
+        assert m.rank(100, 0) == 6
+
+    def test_cap_at_tile_size(self):
+        m = RankModel(tile_size=32, k1=1000, alpha=0.1)
+        assert m.rank(1, 0) == 32
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RankModel(tile_size=32, k1=10, alpha=1.0).rank(3, 3)
+
+    def test_final_ranks_grow_near_diagonal(self):
+        m = RankModel(tile_size=256, k1=50, alpha=0.8, growth=1.5)
+        assert m.final(1, 0) > m.rank(1, 0)
+        # Far away the growth washes out.
+        assert m.final(40, 0) <= m.rank(40, 0) + 1
+
+    def test_fit_recovers_parameters(self):
+        true = RankModel(tile_size=128, k1=60.0, alpha=0.9, kmin=1)
+        grid = true.to_rank_grid(24)
+        fitted = RankModel.fit(grid, 128)
+        assert fitted.k1 == pytest.approx(60.0, rel=0.15)
+        assert fitted.alpha == pytest.approx(0.9, rel=0.15)
+
+    def test_fit_needs_two_subdiagonals(self):
+        with pytest.raises(ConfigurationError):
+            RankModel.fit(np.full((2, 2), -1), 64)
+
+    def test_rescaled(self):
+        m = RankModel(tile_size=100, k1=50, alpha=1.0, kmin=10)
+        m2 = m.rescaled(200)
+        assert m2.k1 == 100.0
+        assert m2.kmin == 20
+
+    def test_callable_protocol(self):
+        m = RankModel(tile_size=64, k1=10, alpha=1.0)
+        assert m(3, 1) == m.rank(3, 1)
+
+
+class TestPaperRankModel:
+    def test_ratio_maxrank_decreases_with_looser_accuracy(self):
+        """Fig. 13b: ratio_maxrank descends as accuracy loosens."""
+        b = 1200
+        r = [
+            paper_rank_model(b, eps).rank(1, 0) / b
+            for eps in (1e-9, 1e-7, 1e-5, 1e-3)
+        ]
+        assert all(a > c for a, c in zip(r, r[1:]))
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ConfigurationError):
+            paper_rank_model(64, 0.0)
+
+
+class TestMetrics:
+    def _sim_result(self, makespan=10.0, busy=(20.0, 30.0)):
+        from repro.runtime.simulator import CommStats, SimResult
+
+        return SimResult(
+            makespan=makespan,
+            busy=np.array(busy),
+            comm=CommStats(),
+            potrf_done=[1.0, 2.0],
+            panel_done=[1.5, 2.5],
+            total_flops=1e9,
+            nodes=2,
+            cores_per_node=4,
+        )
+
+    def test_occupancy_summary(self):
+        s = occupancy_summary(self._sim_result())
+        assert s.makespan == 10.0
+        np.testing.assert_allclose(s.idle_per_process, [20.0, 10.0])
+        assert 0 < s.mean_occupancy < 1
+        assert s.imbalance == pytest.approx(30.0 / 25.0 - 1.0)
+
+    def test_panel_release_gain(self):
+        base = self._sim_result()
+        better = self._sim_result()
+        better.panel_done = [0.75, 1.25]
+        gain = panel_release_gain(base, better)
+        np.testing.assert_allclose(gain, [0.5, 0.5])
+
+    def test_panel_release_shape_mismatch(self):
+        base = self._sim_result()
+        other = self._sim_result()
+        other.panel_done = [1.0]
+        with pytest.raises(ConfigurationError):
+            panel_release_gain(base, other)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ConfigurationError):
+            speedup(10.0, 0.0)
+
+    def test_strong_scaling(self):
+        eff = strong_scaling_efficiency({1: 100.0, 2: 50.0, 4: 50.0})
+        assert eff[1] == 1.0
+        assert eff[2] == 1.0
+        assert eff[4] == 0.5
+
+    def test_weak_scaling(self):
+        eff = weak_scaling_efficiency({1: 10.0, 4: 20.0})
+        assert eff[4] == 0.5
+
+    def test_scaling_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            strong_scaling_efficiency({})
+
+
+class TestReport:
+    def test_format_table_aligned(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in out
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        out = format_series("x", ["y"], [(1, 2.0)])
+        assert "x" in out and "y" in out
+
+    def test_write_csv(self, tmp_path):
+        p = write_csv(tmp_path / "sub" / "r.csv", ["a", "b"], [[1, 2]])
+        assert p.read_text().startswith("a,b")

@@ -1,0 +1,118 @@
+"""Unit tests for the BAND_SIZE auto-tuner (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule
+from repro.analysis import RankModel
+from repro.matrix import BandTLRMatrix
+from repro.core import (
+    autotune_matrix,
+    subdiagonal_costs,
+    subdiagonal_maxranks,
+    tune_band_size,
+)
+from repro.utils import ConfigurationError
+
+
+def grid_from_model(model, nt):
+    return model.to_rank_grid(nt)
+
+
+class TestSubdiagonalMaxranks:
+    def test_reads_max_per_subdiagonal(self):
+        g = np.full((4, 4), -1, dtype=np.int64)
+        g[1, 0], g[2, 1], g[3, 2] = 5, 9, 3
+        g[2, 0], g[3, 1] = 7, 2
+        g[3, 0] = 1
+        assert subdiagonal_maxranks(g) == [9, 7, 1]
+
+    def test_all_dense_subdiagonal_is_minus_one(self):
+        g = np.full((4, 4), -1, dtype=np.int64)
+        g[3, 0] = 6
+        assert subdiagonal_maxranks(g) == [-1, -1, 6]
+
+
+class TestSubdiagonalCosts:
+    def test_counts(self):
+        model = RankModel(tile_size=128, k1=40, alpha=1.0)
+        costs = subdiagonal_costs(
+            subdiagonal_maxranks(grid_from_model(model, 10)), 10, 128
+        )
+        assert len(costs) == 9
+        assert costs[0].band_id == 2
+        assert costs[0].ntile == 9
+        # GEMM count for sub-diagonal d: (nt-d)(nt-d-1)/2.
+        assert costs[0].dense_flops == pytest.approx(
+            36 * 2 * 128**3 + 9 * 128**3
+        )
+
+    def test_tlr_cheaper_far_from_diagonal(self):
+        model = RankModel(tile_size=256, k1=120, alpha=1.2, kmin=4)
+        costs = subdiagonal_costs(
+            subdiagonal_maxranks(grid_from_model(model, 20)), 20, 256
+        )
+        assert costs[-1].tlr_flops < costs[-1].dense_flops
+
+    def test_dense_subdiagonals_never_drive_decision(self):
+        g = np.full((6, 6), -1, dtype=np.int64)  # fully dense already
+        costs = subdiagonal_costs(subdiagonal_maxranks(g), 6, 64)
+        for c in costs:
+            assert c.dense_flops == c.tlr_flops
+
+
+class TestTuneBandSize:
+    def test_high_ranks_widen_band(self):
+        # Ranks close to b make TLR GEMM more expensive than dense.
+        high = RankModel(tile_size=128, k1=120, alpha=0.3, kmin=8)
+        low = RankModel(tile_size=128, k1=8, alpha=1.0, kmin=2)
+        d_high = tune_band_size(grid_from_model(high, 16), 128)
+        d_low = tune_band_size(grid_from_model(low, 16), 128)
+        assert d_high.band_size > d_low.band_size
+        assert d_low.band_size == 1
+
+    def test_fluctuation_monotone(self):
+        model = RankModel(tile_size=128, k1=90, alpha=0.8, kmin=4)
+        g = grid_from_model(model, 16)
+        b_lo = tune_band_size(g, 128, fluctuation=0.67).band_size
+        b_hi = tune_band_size(g, 128, fluctuation=1.0).band_size
+        assert b_lo <= b_hi
+
+    def test_band_size_range_brackets_choice(self):
+        model = RankModel(tile_size=128, k1=90, alpha=0.8, kmin=4)
+        d = tune_band_size(grid_from_model(model, 16), 128, fluctuation=0.8)
+        lo, hi = d.band_size_range
+        assert lo <= d.band_size <= hi
+
+    def test_max_band_caps(self):
+        model = RankModel(tile_size=64, k1=64, alpha=0.05, kmin=32)
+        d = tune_band_size(grid_from_model(model, 12), 64, max_band=3)
+        assert d.band_size <= 3
+
+    def test_rejects_bad_fluctuation(self):
+        with pytest.raises(ConfigurationError):
+            tune_band_size(np.full((4, 4), -1), 64, fluctuation=0.0)
+
+    def test_costs_exposed_for_fig6c(self):
+        model = RankModel(tile_size=128, k1=60, alpha=0.9, kmin=4)
+        d = tune_band_size(grid_from_model(model, 12), 128)
+        assert len(d.costs) == 11
+        assert all(c.maxrank >= 0 for c in d.costs)
+
+
+class TestAutotuneMatrix:
+    def test_pipeline_on_real_problem(self, medium_problem, medium_dense, rule8):
+        m1 = BandTLRMatrix.from_problem(medium_problem, rule8, band_size=1)
+        m_tuned, decision = autotune_matrix(m1, medium_problem)
+        assert m_tuned.band_size == decision.band_size
+        # Regenerated matrix still represents the same operator.
+        assert m_tuned.compression_error(medium_dense) < 1e-6
+
+    def test_band_unchanged_returns_same_object(self, medium_problem, rule8):
+        m1 = BandTLRMatrix.from_problem(medium_problem, rule8, band_size=1)
+        decision = tune_band_size(m1.rank_grid(), m1.desc.tile_size)
+        m_tuned, _ = autotune_matrix(m1, medium_problem)
+        if decision.band_size == 1:
+            assert m_tuned is m1
+        else:
+            assert m_tuned.band_size == decision.band_size

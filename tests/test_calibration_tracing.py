@@ -1,0 +1,88 @@
+"""Unit tests for machine calibration and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.analysis import export_chrome_trace
+from repro.distribution import ProcessGrid, TwoDBlockCyclic
+from repro.runtime import (
+    MachineSpec,
+    build_cholesky_graph,
+    calibrate_machine,
+    measure_dense_gflops,
+    measure_lr_efficiency,
+    simulate,
+)
+from repro.utils import ConfigurationError
+
+
+class TestCalibration:
+    def test_dense_gflops_plausible(self):
+        g = measure_dense_gflops(b=256, repeats=1)
+        assert 0.5 < g < 1000.0  # any real machine lands here
+
+    def test_lr_efficiency_below_one(self):
+        frac = measure_lr_efficiency(b=256, repeats=1)
+        assert 0.0 < frac < 1.0
+
+    def test_calibrate_machine_builds_spec(self):
+        m = calibrate_machine(nodes=3, cores_per_node=5, b=128, repeats=1)
+        assert m.nodes == 3
+        assert m.cores_per_node == 5
+        assert m.rates.dense_gflops > 0
+
+    def test_kwargs_forwarded(self):
+        m = calibrate_machine(b=128, repeats=1, latency_s=9e-6)
+        assert m.latency_s == 9e-6
+
+    def test_calibrated_machine_simulates(self):
+        m = calibrate_machine(nodes=2, cores_per_node=2, b=128, repeats=1)
+        g = build_cholesky_graph(6, 2, 128, lambda i, j: 8)
+        res = simulate(g, TwoDBlockCyclic(ProcessGrid.squarest(2)), m)
+        assert res.makespan > 0
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        g = build_cholesky_graph(6, 2, 128, lambda i, j: 8)
+        return g, simulate(
+            g,
+            TwoDBlockCyclic(ProcessGrid.squarest(2)),
+            MachineSpec(nodes=2, cores_per_node=2),
+            collect_trace=True,
+        )
+
+    def test_event_per_task(self, traced, tmp_path):
+        g, res = traced
+        p = export_chrome_trace(res, tmp_path / "t.json")
+        doc = json.loads(p.read_text())
+        assert len(doc["traceEvents"]) == g.n_tasks
+
+    def test_event_fields(self, traced, tmp_path):
+        _, res = traced
+        doc = json.loads(export_chrome_trace(res, tmp_path / "t").read_text())
+        ev = doc["traceEvents"][0]
+        assert ev["ph"] == "X"
+        assert ev["dur"] >= 0
+        assert ev["pid"] in (0, 1)
+
+    def test_metadata(self, traced, tmp_path):
+        _, res = traced
+        doc = json.loads(export_chrome_trace(res, tmp_path / "t").read_text())
+        assert doc["otherData"]["nodes"] == 2
+
+    def test_suffix_appended(self, traced, tmp_path):
+        _, res = traced
+        assert export_chrome_trace(res, tmp_path / "noext").suffix == ".json"
+
+    def test_requires_trace(self, traced, tmp_path):
+        g, _ = traced
+        res = simulate(
+            g,
+            TwoDBlockCyclic(ProcessGrid.squarest(2)),
+            MachineSpec(nodes=2, cores_per_node=2),
+        )
+        with pytest.raises(ConfigurationError):
+            export_chrome_trace(res, tmp_path / "t.json")

@@ -1,0 +1,78 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.n == 2048
+        assert args.accuracy == 1e-8
+
+    def test_simulate_scheduler_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scheduler", "magic"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "repro.runtime" in out
+
+    def test_demo_small(self, capsys):
+        rc = main(["demo", "--n", "256", "--tile", "64", "--accuracy", "1e-6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "solve relative error" in out
+
+    def test_tune(self, capsys):
+        rc = main(["tune", "--n", "512", "--tile", "64", "--accuracy", "1e-4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tuned BAND_SIZE" in out
+
+    def test_simulate(self, capsys):
+        rc = main(
+            ["simulate", "--nt", "12", "--nodes", "2", "--cores", "2",
+             "--split", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_simulate_with_gantt(self, capsys):
+        rc = main(
+            ["simulate", "--nt", "8", "--nodes", "2", "--cores", "2",
+             "--split", "1", "--gantt", "--width", "40"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P=potrf" in out
+
+
+class TestSimulateFeatureFlags:
+    def test_steal_and_gpus(self, capsys):
+        rc = main(
+            ["simulate", "--nt", "10", "--nodes", "2", "--cores", "2",
+             "--split", "1", "--steal", "--gpus", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gpu busy" in out
+
+    def test_gpu_busy_zero_without_gpus(self, capsys):
+        rc = main(
+            ["simulate", "--nt", "8", "--nodes", "2", "--cores", "2",
+             "--split", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gpu busy" in out

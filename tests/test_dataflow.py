@@ -1,0 +1,80 @@
+"""Unit tests for dataflow classification (Section VII-A) and DOT export."""
+
+import pytest
+
+from repro.distribution import BandDistribution, ProcessGrid, TwoDBlockCyclic
+from repro.runtime import build_cholesky_graph
+from repro.runtime.dataflow import classify_dataflow, to_dot
+from repro.runtime.task import TaskKind
+
+RANK = lambda i, j: 8
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_cholesky_graph(8, 2, 64, RANK)
+
+
+class TestClassification:
+    def test_chain_edges_always_local(self, graph):
+        """Section VII-A: SYRK→SYRK, SYRK→POTRF, GEMM→GEMM, GEMM→TRSM
+        connect tasks writing the same tile, hence the same process."""
+        for nprocs in (1, 4):
+            dist = TwoDBlockCyclic(ProcessGrid.squarest(nprocs))
+            bd = classify_dataflow(graph, dist)
+            for pair in [
+                (TaskKind.SYRK, TaskKind.SYRK),
+                (TaskKind.SYRK, TaskKind.POTRF),
+                (TaskKind.GEMM, TaskKind.GEMM),
+                (TaskKind.GEMM, TaskKind.TRSM),
+            ]:
+                assert bd.count(*pair, "remote") == 0, pair
+
+    def test_remote_kinds_match_paper(self, graph):
+        """Only POTRF→TRSM, TRSM→SYRK and TRSM→GEMM can post messages."""
+        dist = TwoDBlockCyclic(ProcessGrid.squarest(4))
+        bd = classify_dataflow(graph, dist)
+        remote_pairs = {
+            (s, d) for (s, d, loc) in bd.edges if loc == "remote"
+        }
+        assert remote_pairs <= {
+            (TaskKind.POTRF, TaskKind.TRSM),
+            (TaskKind.TRSM, TaskKind.SYRK),
+            (TaskKind.TRSM, TaskKind.GEMM),
+        }
+        assert remote_pairs  # some communication does happen
+
+    def test_single_process_all_local(self, graph):
+        bd = classify_dataflow(graph, TwoDBlockCyclic(ProcessGrid(1, 1)))
+        assert bd.remote_total == 0
+        assert bd.local_total > 0
+
+    def test_totals_cover_every_edge(self, graph):
+        dist = BandDistribution(ProcessGrid.squarest(4), band_size=2)
+        bd = classify_dataflow(graph, dist)
+        n_edges = sum(len(t.deps) for t in graph.tasks.values())
+        assert bd.local_total + bd.remote_total == n_edges
+
+    def test_remote_bytes_positive(self, graph):
+        dist = TwoDBlockCyclic(ProcessGrid.squarest(4))
+        bd = classify_dataflow(graph, dist)
+        assert sum(bd.bytes_remote.values()) > 0
+
+
+class TestDotExport:
+    def test_contains_all_tasks(self):
+        g = build_cholesky_graph(3, 1, 32, RANK)
+        dot = to_dot(g)
+        assert dot.count("fillcolor") == g.n_tasks
+        assert dot.startswith("digraph")
+
+    def test_writes_file(self, tmp_path):
+        g = build_cholesky_graph(3, 1, 32, RANK)
+        p = tmp_path / "g.dot"
+        to_dot(g, p)
+        assert p.read_text().startswith("digraph")
+
+    def test_rejects_large_graphs(self):
+        g = build_cholesky_graph(16, 1, 32, RANK)
+        with pytest.raises(ValueError, match="raise max_tasks"):
+            to_dot(g)

@@ -1,0 +1,148 @@
+"""Unit tests for tile-based and adaptive online densification
+(the paper's Section IX / Section V-B future-work features)."""
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule, st_3d_exp_problem
+from repro.analysis import RankModel
+from repro.core import (
+    apply_densification,
+    plan_tile_densification,
+    tlr_cholesky,
+)
+from repro.linalg import DenseTile, LowRankTile
+from repro.matrix import BandTLRMatrix
+from repro.utils import ConfigurationError
+
+
+def spiky_grid(nt, b, spike_d, base=8, spike=None):
+    """A rank grid with low base ranks and one high-rank sub-diagonal."""
+    spike = spike or b // 2
+    g = np.full((nt, nt), -1, dtype=np.int64)
+    for i in range(nt):
+        for j in range(i):
+            g[i, j] = spike if (i - j) == spike_d else base
+    return g
+
+
+class TestPlan:
+    def test_diagonal_always_dense(self):
+        plan = plan_tile_densification(spiky_grid(8, 128, 3), 128)
+        assert all(plan.dense_mask[i, i] for i in range(8))
+
+    def test_captures_far_spike_without_band(self):
+        """The key advantage over band-basis: an isolated high-rank
+        sub-diagonal far from the diagonal gets densified alone."""
+        nt, b = 12, 128
+        plan = plan_tile_densification(spiky_grid(nt, b, spike_d=6), b)
+        # Spike tiles (with enough updates to amortize) are densified...
+        assert plan.dense_mask[10, 4]
+        # ...while the low-rank tiles in between stay compressed.
+        assert not plan.dense_mask[10, 7]
+
+    def test_low_rank_everywhere_keeps_tlr(self):
+        nt, b = 10, 256
+        g = np.full((nt, nt), -1, dtype=np.int64)
+        for i in range(nt):
+            for j in range(i):
+                g[i, j] = 4
+        plan = plan_tile_densification(g, b)
+        assert plan.n_policy == 0
+
+    def test_high_rank_everywhere_densifies(self):
+        nt, b = 8, 64
+        g = np.full((nt, nt), -1, dtype=np.int64)
+        for i in range(nt):
+            for j in range(i):
+                g[i, j] = 60
+        plan = plan_tile_densification(g, b)
+        # All tiles with at least one update are densified.
+        assert plan.dense_mask[5, 2]
+
+    def test_closure_enforced(self):
+        """If (m,k) and (n,k) are dense then (m,n) must be dense."""
+        plan = plan_tile_densification(spiky_grid(12, 128, 2, base=8), 128)
+        mask = plan.dense_mask
+        nt = 12
+        for m in range(nt):
+            for n in range(m):
+                for k in range(n):
+                    if mask[m, k] and mask[n, k]:
+                        assert mask[m, n], (m, n, k)
+
+    def test_rejects_bad_fluctuation(self):
+        with pytest.raises(ConfigurationError):
+            plan_tile_densification(spiky_grid(4, 64, 1), 64, fluctuation=2.0)
+
+
+class TestApplyAndFactorize:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return st_3d_exp_problem(1000, 125, seed=9, nugget=1e-3)
+
+    def test_apply_respects_plan(self, problem):
+        rule = TruncationRule(eps=1e-5)
+        m1 = BandTLRMatrix.from_problem(problem, rule, band_size=1)
+        plan = plan_tile_densification(m1.rank_grid(), 125)
+        m = apply_densification(m1, problem, plan)
+        for (i, j), tile in m.tiles.items():
+            if plan.dense_mask[i, j]:
+                assert isinstance(tile, DenseTile), (i, j)
+            else:
+                assert isinstance(tile, LowRankTile), (i, j)
+
+    def test_factorization_correct_after_densification(self, problem):
+        rule = TruncationRule(eps=1e-5)
+        m1 = BandTLRMatrix.from_problem(problem, rule, band_size=1)
+        plan = plan_tile_densification(m1.rank_grid(), 125)
+        m = apply_densification(m1, problem, plan)
+        tlr_cholesky(m)
+        a = problem.dense()
+        l = m.to_dense(lower_only=True)
+        assert np.linalg.norm(l @ l.T - a) / np.linalg.norm(a) < 1e-3
+
+    def test_geometry_mismatch_rejected(self, problem):
+        rule = TruncationRule(eps=1e-5)
+        m1 = BandTLRMatrix.from_problem(problem, rule, band_size=1)
+        bad = plan_tile_densification(spiky_grid(4, 125, 1), 125)
+        with pytest.raises(ConfigurationError):
+            apply_densification(m1, problem, bad)
+
+
+class TestAdaptiveOnline:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return st_3d_exp_problem(1000, 125, seed=9, nugget=1e-3)
+
+    def test_adaptive_densifies_high_rank_tiles(self, problem):
+        rule = TruncationRule(eps=1e-8)
+        m = BandTLRMatrix.from_problem(problem, rule, band_size=1)
+        rep = tlr_cholesky(m, adaptive_threshold=0.3)
+        assert rep.tiles_densified_online > 0
+        # Some tiles ended up dense even though band_size is 1.
+        dense_offdiag = sum(
+            1 for (i, j), t in m.tiles.items()
+            if i != j and isinstance(t, DenseTile)
+        )
+        assert dense_offdiag == rep.tiles_densified_online
+
+    def test_adaptive_factor_is_correct(self, problem):
+        rule = TruncationRule(eps=1e-8)
+        m = BandTLRMatrix.from_problem(problem, rule, band_size=1)
+        tlr_cholesky(m, adaptive_threshold=0.3)
+        a = problem.dense()
+        l = m.to_dense(lower_only=True)
+        assert np.linalg.norm(l @ l.T - a) / np.linalg.norm(a) < 1e-6
+
+    def test_threshold_one_never_densifies(self, problem):
+        rule = TruncationRule(eps=1e-5)
+        m = BandTLRMatrix.from_problem(problem, rule, band_size=1)
+        rep = tlr_cholesky(m, adaptive_threshold=1.0)
+        assert rep.tiles_densified_online == 0
+
+    def test_rejects_bad_threshold(self, problem):
+        rule = TruncationRule(eps=1e-5)
+        m = BandTLRMatrix.from_problem(problem, rule, band_size=1)
+        with pytest.raises(ConfigurationError):
+            tlr_cholesky(m, adaptive_threshold=0.0)

@@ -1,0 +1,77 @@
+"""Unit tests for TileDescriptor geometry and band predicates."""
+
+import pytest
+
+from repro.matrix import TileDescriptor
+from repro.utils import ConfigurationError
+
+
+class TestGeometry:
+    def test_even_tiling(self):
+        d = TileDescriptor(512, 64)
+        assert d.ntiles == 8
+        assert d.tile_dim(0) == 64
+        assert d.tile_dim(7) == 64
+
+    def test_ragged_last_tile(self):
+        d = TileDescriptor(500, 64)
+        assert d.ntiles == 8
+        assert d.tile_dim(7) == 500 - 7 * 64
+        assert d.tile_shape(7, 0) == (52, 64)
+
+    def test_tile_slice(self):
+        d = TileDescriptor(500, 64)
+        s = d.tile_slice(7)
+        assert (s.start, s.stop) == (448, 500)
+
+    def test_rejects_oversized_tile(self):
+        with pytest.raises(ConfigurationError):
+            TileDescriptor(10, 20)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            TileDescriptor(100, 10).tile_dim(10)
+
+
+class TestBandPredicates:
+    def test_band_id(self):
+        assert TileDescriptor.band_id(3, 3) == 1
+        assert TileDescriptor.band_id(4, 3) == 2
+        assert TileDescriptor.band_id(3, 4) == 2  # symmetric
+
+    @pytest.mark.parametrize(
+        "i,j,band,expected",
+        [(0, 0, 1, True), (1, 0, 1, False), (1, 0, 2, True), (5, 2, 3, False),
+         (5, 3, 3, True)],
+    )
+    def test_on_band(self, i, j, band, expected):
+        assert TileDescriptor.on_band(i, j, band) is expected
+
+
+class TestIteration:
+    def test_lower_tiles_count(self):
+        d = TileDescriptor(512, 64)
+        tiles = list(d.lower_tiles())
+        assert len(tiles) == 8 * 9 // 2
+        assert all(i >= j for i, j in tiles)
+
+    def test_subdiagonal_tiles(self):
+        d = TileDescriptor(512, 64)
+        sd = list(d.subdiagonal_tiles(2))
+        assert sd == [(2, 0), (3, 1), (4, 2), (5, 3), (6, 4), (7, 5)]
+
+    def test_subdiagonal_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            list(TileDescriptor(512, 64).subdiagonal_tiles(8))
+
+    def test_band_counts_partition(self):
+        d = TileDescriptor(512, 64)
+        total = d.ntiles * (d.ntiles + 1) // 2
+        for band in (1, 3, 8, 20):
+            assert d.count_on_band(band) + d.count_off_band(band) == total
+
+    def test_count_on_band_values(self):
+        d = TileDescriptor(512, 64)
+        assert d.count_on_band(1) == 8
+        assert d.count_on_band(2) == 8 + 7
+        assert d.count_on_band(100) == 36

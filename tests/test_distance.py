@@ -1,0 +1,73 @@
+"""Unit + property tests for pairwise distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import block_distances, pairwise_distances
+from repro.utils import ConfigurationError
+
+
+class TestBlockDistances:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.uniform(size=(7, 3)), rng.uniform(size=(5, 3))
+        d = block_distances(x, y)
+        naive = np.array([[np.linalg.norm(a - b) for b in y] for a in x])
+        np.testing.assert_allclose(d, naive, atol=1e-12)
+
+    def test_shape(self):
+        d = block_distances(np.zeros((4, 2)), np.zeros((6, 2)))
+        assert d.shape == (4, 6)
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            block_distances(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_1d_input_promoted(self):
+        d = block_distances(np.array([0.0, 1.0]), np.array([0.5]))
+        np.testing.assert_allclose(d, [[0.5], [0.5]])
+
+    def test_no_negative_under_roundoff(self):
+        # Nearly identical points stress the subtraction formula.
+        x = np.full((50, 3), 1e8) + np.random.default_rng(1).normal(
+            scale=1e-6, size=(50, 3)
+        )
+        d = block_distances(x, x)
+        assert np.all(d >= 0.0)
+        assert np.all(np.isfinite(d))
+
+
+class TestPairwiseDistances:
+    def test_zero_diagonal(self):
+        pts = np.random.default_rng(2).uniform(size=(20, 3))
+        d = pairwise_distances(pts)
+        np.testing.assert_array_equal(np.diag(d), np.zeros(20))
+
+    def test_symmetry(self):
+        pts = np.random.default_rng(3).uniform(size=(15, 2))
+        d = pairwise_distances(pts)
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=12).filter(
+            lambda s: s[1] <= 3
+        ),
+        elements=hnp.from_dtype(
+            np.dtype(np.float64), min_value=-100, max_value=100, allow_nan=False
+        ),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_triangle_inequality(pts):
+    d = pairwise_distances(pts)
+    n = d.shape[0]
+    # d(i,k) <= d(i,j) + d(j,k) for all triples, with float tolerance.
+    for i in range(min(n, 5)):
+        for j in range(min(n, 5)):
+            for k in range(min(n, 5)):
+                assert d[i, k] <= d[i, j] + d[j, k] + 1e-7 * (1 + d.max())

@@ -1,0 +1,164 @@
+"""Unit + property tests for process grids and data distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    BandDistribution,
+    OneDBlockCyclic,
+    ProcessGrid,
+    TwoDBlockCyclic,
+    load_per_process,
+)
+from repro.utils import ConfigurationError, DistributionError
+
+
+class TestProcessGrid:
+    def test_size(self):
+        assert ProcessGrid(3, 4).size == 12
+
+    def test_rank_layout_row_major(self):
+        g = ProcessGrid(2, 3)
+        assert g.rank_of(0, 0) == 0
+        assert g.rank_of(0, 2) == 2
+        assert g.rank_of(1, 0) == 3
+
+    def test_rank_wraps_modulo(self):
+        g = ProcessGrid(2, 3)
+        assert g.rank_of(2, 3) == g.rank_of(0, 0)
+
+    def test_coords_inverse(self):
+        g = ProcessGrid(3, 4)
+        for r in range(g.size):
+            assert g.rank_of(*g.coords_of(r)) == r
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(2, 2).coords_of(4)
+
+    @pytest.mark.parametrize(
+        "size,p,q", [(12, 3, 4), (16, 4, 4), (7, 1, 7), (64, 8, 8), (2, 1, 2)]
+    )
+    def test_squarest(self, size, p, q):
+        g = ProcessGrid.squarest(size)
+        assert (g.p, g.q) == (p, q)
+        assert g.p <= g.q  # paper's "P <= Q" convention
+
+
+class TestTwoDBlockCyclic:
+    def test_owner_formula(self):
+        d = TwoDBlockCyclic(ProcessGrid(2, 3))
+        assert d.owner(0, 0) == 0
+        assert d.owner(2, 0) == 0  # 2 mod 2 = 0
+        assert d.owner(1, 1) == 4
+
+    def test_rejects_upper_triangle(self):
+        d = TwoDBlockCyclic(ProcessGrid(2, 2))
+        with pytest.raises(DistributionError):
+            d.owner(0, 1)
+
+    def test_coverage_balanced(self):
+        d = TwoDBlockCyclic(ProcessGrid(2, 2))
+        load = load_per_process(d, 16)
+        total = 16 * 17 // 2
+        assert load.sum() == total
+        assert load.max() / load.min() < 1.5
+
+
+class TestOneDBlockCyclic:
+    def test_row_axis(self):
+        d = OneDBlockCyclic(4, axis="row")
+        assert d.owner(5, 2) == 1
+        assert d.owner(5, 0) == 1  # whole row same owner
+
+    def test_column_axis(self):
+        d = OneDBlockCyclic(4, axis="column")
+        assert d.owner(5, 2) == 2
+
+    def test_subdiagonal_axis_spreads_evenly(self):
+        d = OneDBlockCyclic(4, axis="subdiagonal")
+        owners = [d.owner(j + 3, j) for j in range(8)]
+        # Positions along the sub-diagonal cycle through all processes.
+        assert owners == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ConfigurationError):
+            OneDBlockCyclic(4, axis="diagonal")
+
+
+class TestBandDistribution:
+    def test_on_band_row_based(self):
+        d = BandDistribution(ProcessGrid(2, 2), band_size=2, uplo="lower")
+        # (5, 4) is on band -> owner = 5 mod 4 = 1.
+        assert d.on_band(5, 4)
+        assert d.owner(5, 4) == 1
+        assert d.owner(5, 5) == 1  # same row -> same owner
+
+    def test_off_band_uses_grid(self):
+        g = ProcessGrid(2, 2)
+        d = BandDistribution(g, band_size=2)
+        assert not d.on_band(5, 1)
+        assert d.owner(5, 1) == TwoDBlockCyclic(g).owner(5, 1)
+
+    def test_upper_variant_column_based(self):
+        d = BandDistribution(ProcessGrid(2, 2), band_size=2, uplo="upper")
+        assert d.owner(5, 4) == 0  # j mod 4
+
+    def test_panel_trsms_land_on_distinct_processes(self):
+        """The design goal: dense TRSMs of one panel run in parallel."""
+        d = BandDistribution(ProcessGrid(2, 2), band_size=4, uplo="lower")
+        k = 3
+        owners = [d.owner(m, k) for m in range(k + 1, k + 4)]  # on-band rows
+        assert len(set(owners)) == len(owners)
+
+    def test_row_kernels_need_no_communication(self):
+        """On-band tiles of one row share an owner (LOCAL chain edges)."""
+        d = BandDistribution(ProcessGrid(2, 2), band_size=3, uplo="lower")
+        i = 7
+        owners = {d.owner(i, j) for j in range(5, 8)}  # |i-j| < 3
+        assert len(owners) == 1
+
+
+@given(
+    nt=st.integers(1, 20),
+    band=st.integers(1, 6),
+    p=st.integers(1, 4),
+    q=st.integers(1, 4),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_every_tile_has_exactly_one_owner(nt, band, p, q):
+    """Total coverage: every lower tile maps to a valid process rank."""
+    grid = ProcessGrid(p, q)
+    dists = [
+        TwoDBlockCyclic(grid),
+        OneDBlockCyclic(grid.size, axis="row"),
+        BandDistribution(grid, band_size=band),
+    ]
+    for d in dists:
+        for i in range(nt):
+            for j in range(i + 1):
+                owner = d.owner(i, j)
+                assert 0 <= owner < d.nprocs
+
+
+@given(nt=st.integers(2, 24), band=st.integers(1, 8), size=st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_property_band_partition_is_exact(nt, band, size):
+    """on_band + off_band partitions the lower triangle exactly."""
+    grid = ProcessGrid.squarest(size)
+    d = BandDistribution(grid, band_size=band)
+    on = sum(1 for i in range(nt) for j in range(i + 1) if d.on_band(i, j))
+    off = sum(1 for i in range(nt) for j in range(i + 1) if not d.on_band(i, j))
+    assert on + off == nt * (nt + 1) // 2
+    from repro.matrix import TileDescriptor
+
+    desc = TileDescriptor(nt * 4, 4)
+    assert on == desc.count_on_band(band)
+
+
+def test_load_per_process_with_weight():
+    d = TwoDBlockCyclic(ProcessGrid(1, 1))
+    load = load_per_process(d, 4, weight=lambda i, j: i + j)
+    assert load[0] == sum(i + j for i in range(4) for j in range(i + 1))

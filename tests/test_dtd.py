@@ -1,0 +1,189 @@
+"""Unit + property tests for the DTD (dynamic task discovery) frontend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import KernelClass
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+from repro.runtime.dtd import Access, TaskInserter, dtd_cholesky_graph
+from repro.runtime.task import TaskKind
+from repro.distribution import ProcessGrid, TwoDBlockCyclic
+from repro.utils import SchedulingError
+
+
+def _mk(ins, tid, accesses):
+    ins.insert(
+        tid, TaskKind.GEMM, KernelClass.GEMM_DENSE, 1.0, accesses
+    )
+
+
+class TestDiscoverySemantics:
+    def test_read_after_write(self):
+        ins = TaskInserter(4, 1, 8)
+        _mk(ins, ("w",), [((0, 0), Access.WRITE)])
+        _mk(ins, ("r",), [((0, 0), Access.READ), ((1, 0), Access.WRITE)])
+        g = ins.seal()
+        assert any(e.src == ("w",) for e in g.tasks[("r",)].deps)
+
+    def test_write_after_read(self):
+        ins = TaskInserter(4, 1, 8)
+        _mk(ins, ("w0",), [((0, 0), Access.WRITE)])
+        _mk(ins, ("r",), [((0, 0), Access.READ), ((1, 0), Access.WRITE)])
+        _mk(ins, ("w1",), [((0, 0), Access.RW)])
+        g = ins.seal()
+        srcs = {e.src for e in g.tasks[("w1",)].deps}
+        assert ("r",) in srcs  # WAR dependence
+        assert ("w0",) in srcs  # plus the previous writer
+
+    def test_independent_reads_unordered(self):
+        ins = TaskInserter(4, 1, 8)
+        _mk(ins, ("w",), [((0, 0), Access.WRITE)])
+        _mk(ins, ("r1",), [((0, 0), Access.READ), ((1, 0), Access.WRITE)])
+        _mk(ins, ("r2",), [((0, 0), Access.READ), ((2, 0), Access.WRITE)])
+        g = ins.seal()
+        assert not any(e.src == ("r1",) for e in g.tasks[("r2",)].deps)
+
+    def test_write_required(self):
+        ins = TaskInserter(4, 1, 8)
+        with pytest.raises(SchedulingError, match="WRITE"):
+            _mk(ins, ("r",), [((0, 0), Access.READ)])
+
+    def test_sealed_rejects_insert(self):
+        ins = TaskInserter(4, 1, 8)
+        _mk(ins, ("w",), [((0, 0), Access.WRITE)])
+        ins.seal()
+        with pytest.raises(SchedulingError):
+            _mk(ins, ("w2",), [((0, 0), Access.WRITE)])
+
+    def test_rw_chain_sequential(self):
+        ins = TaskInserter(4, 1, 8)
+        for i in range(4):
+            _mk(ins, (f"t{i}",), [((0, 0), Access.RW)])
+        g = ins.seal()
+        order = g.topological_order()
+        assert order == [(f"t{i}",) for i in range(4)]
+
+
+class TestCholeskyEquivalence:
+    """DTD and PTG must unfold the same Cholesky dataflow."""
+
+    @pytest.mark.parametrize("nt,band", [(5, 1), (6, 3), (4, 4)])
+    def test_same_tasks_and_costs(self, nt, band):
+        rank = lambda i, j: max(4, 20 - (i - j))
+        g_ptg = build_cholesky_graph(nt, band, 64, rank)
+        g_dtd = dtd_cholesky_graph(nt, band, 64, rank)
+        assert set(g_ptg.tasks) == set(g_dtd.tasks)
+        for tid in g_ptg.tasks:
+            assert g_ptg.tasks[tid].kernel is g_dtd.tasks[tid].kernel
+            assert g_ptg.tasks[tid].flops == pytest.approx(g_dtd.tasks[tid].flops)
+
+    @pytest.mark.parametrize("nt,band", [(5, 1), (6, 3)])
+    def test_same_transitive_dataflow(self, nt, band):
+        """Edge sets may differ in redundant ordering edges; the transitive
+        closure (what-must-run-before-what) must be identical."""
+        import networkx as nx
+
+        rank = lambda i, j: 8
+        g_ptg = build_cholesky_graph(nt, band, 64, rank)
+        g_dtd = dtd_cholesky_graph(nt, band, 64, rank)
+
+        def closure(g):
+            dg = nx.DiGraph()
+            dg.add_nodes_from(g.tasks)
+            for tid, t in g.tasks.items():
+                dg.add_edges_from((e.src, tid) for e in t.deps)
+            return nx.transitive_closure_dag(dg)
+
+        c_ptg, c_dtd = closure(g_ptg), closure(g_dtd)
+        assert set(c_ptg.edges) == set(c_dtd.edges)
+
+    def test_dtd_graph_simulates(self):
+        rank = lambda i, j: 12
+        g = dtd_cholesky_graph(8, 2, 128, rank)
+        res = simulate(
+            g,
+            TwoDBlockCyclic(ProcessGrid.squarest(4)),
+            MachineSpec(nodes=4, cores_per_node=2),
+        )
+        assert res.makespan > 0
+
+    def test_dtd_graph_executes_numerically(self):
+        """A DTD-built graph drives the real executor to a correct factor."""
+        from repro import TruncationRule, st_3d_exp_problem
+        from repro.matrix import BandTLRMatrix
+        from repro.runtime import execute_graph
+
+        prob = st_3d_exp_problem(512, 64, seed=2)
+        m = BandTLRMatrix.from_problem(prob, TruncationRule(eps=1e-8), 2)
+        grid = m.rank_grid()
+        g = dtd_cholesky_graph(8, 2, 64, lambda i, j: int(max(grid[i, j], 1)))
+        execute_graph(g, m)
+        a = prob.dense()
+        l = m.to_dense(lower_only=True)
+        assert np.linalg.norm(l @ l.T - a) / np.linalg.norm(a) < 1e-6
+
+
+@given(nt=st.integers(2, 8), band=st.integers(1, 4), k=st.integers(1, 30))
+@settings(max_examples=20, deadline=None)
+def test_property_dtd_ptg_equivalent(nt, band, k):
+    g_ptg = build_cholesky_graph(nt, band, 32, lambda i, j: k)
+    g_dtd = dtd_cholesky_graph(nt, band, 32, lambda i, j: k)
+    assert set(g_ptg.tasks) == set(g_dtd.tasks)
+    assert g_ptg.total_flops() == pytest.approx(g_dtd.total_flops())
+    assert g_ptg.critical_path_flops() == pytest.approx(
+        g_dtd.critical_path_flops()
+    )
+
+
+@given(
+    n_tasks=st.integers(2, 25),
+    n_tiles=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_discovery_matches_oracle(n_tasks, n_tiles, seed):
+    """Random access streams: the discovered graph must order every pair
+    of tasks that conflict (RAW, WAR, or WAW on some tile), and the
+    serial insertion order must be one of its topological orders."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    ins = TaskInserter(8, 1, 16)
+    streams = []
+    for t in range(n_tasks):
+        n_acc = int(rng.integers(1, min(4, n_tiles + 1)))
+        tiles = rng.choice(n_tiles, size=n_acc, replace=False)
+        accesses = []
+        has_write = False
+        for tile in tiles:
+            mode = [Access.READ, Access.WRITE, Access.RW][int(rng.integers(3))]
+            has_write = has_write or mode is not Access.READ
+            accesses.append(((int(tile), 0), mode))
+        if not has_write:
+            accesses[0] = (accesses[0][0], Access.RW)
+        streams.append(accesses)
+        _mk(ins, (f"t{t}",), accesses)
+    g = ins.seal()
+
+    # Oracle: transitive reachability via networkx.
+    import networkx as nx
+
+    dg = nx.DiGraph()
+    dg.add_nodes_from(g.tasks)
+    for tid, task in g.tasks.items():
+        dg.add_edges_from((e.src, tid) for e in task.deps)
+    closure = nx.transitive_closure_dag(dg)
+
+    def conflicts(a, b):
+        wa = {t for t, m in streams[a] if m is not Access.READ}
+        ra = {t for t, m in streams[a] if m in (Access.READ, Access.RW)}
+        wb = {t for t, m in streams[b] if m is not Access.READ}
+        rb = {t for t, m in streams[b] if m in (Access.READ, Access.RW)}
+        return bool(wa & wb) or bool(wa & rb) or bool(ra & wb)
+
+    for a in range(n_tasks):
+        for b in range(a + 1, n_tasks):
+            if conflicts(a, b):
+                assert closure.has_edge((f"t{a}",), (f"t{b}",)), (a, b)

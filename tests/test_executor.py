@@ -1,0 +1,98 @@
+"""Unit tests: the graph executor computes the same factor as the
+sequential reference and drives the dynamic-memory machinery."""
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule
+from repro.matrix import BandTLRMatrix
+from repro.core import tlr_cholesky
+from repro.runtime import build_cholesky_graph, execute_graph
+from repro.utils import RuntimeSystemError
+
+
+def _rank_fn_for(matrix):
+    grid = matrix.rank_grid()
+
+    def rank(i, j):
+        return int(max(grid[i, j], 1))
+
+    return rank
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("band", [1, 2, 4])
+    def test_matches_reference(self, small_problem, small_dense, rule8, band):
+        ref = BandTLRMatrix.from_problem(small_problem, rule8, band_size=band)
+        via_graph = ref.copy()
+        tlr_cholesky(ref)
+
+        g = build_cholesky_graph(
+            via_graph.ntiles, band, 64, _rank_fn_for(via_graph)
+        )
+        execute_graph(g, via_graph)
+        np.testing.assert_allclose(
+            ref.to_dense(lower_only=True),
+            via_graph.to_dense(lower_only=True),
+            atol=1e-9,
+        )
+
+    def test_backward_error(self, small_problem, small_dense, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=2)
+        g = build_cholesky_graph(m.ntiles, 2, 64, _rank_fn_for(m))
+        execute_graph(g, m)
+        l = m.to_dense(lower_only=True)
+        err = np.linalg.norm(l @ l.T - small_dense) / np.linalg.norm(small_dense)
+        assert err < 1e-6
+
+
+class TestGuards:
+    def test_band_mismatch_rejected(self, small_tlr):
+        g = build_cholesky_graph(small_tlr.ntiles, 3, 64, lambda i, j: 8)
+        with pytest.raises(RuntimeSystemError):
+            execute_graph(g, small_tlr)
+
+    def test_nt_mismatch_rejected(self, small_tlr):
+        g = build_cholesky_graph(4, 1, 64, lambda i, j: 8)
+        with pytest.raises(RuntimeSystemError):
+            execute_graph(g, small_tlr)
+
+    def test_expanded_graph_rejected(self, small_tlr):
+        g = build_cholesky_graph(
+            small_tlr.ntiles, 1, 64, lambda i, j: 8, recursive_split=2
+        )
+        with pytest.raises(RuntimeSystemError, match="expanded"):
+            execute_graph(g, small_tlr)
+
+
+class TestReporting:
+    def test_task_count(self, small_tlr):
+        g = build_cholesky_graph(small_tlr.ntiles, 1, 64, _rank_fn_for(small_tlr))
+        rep = execute_graph(g, small_tlr)
+        assert rep.tasks_executed == g.n_tasks
+
+    def test_flops_recorded(self, small_tlr):
+        g = build_cholesky_graph(small_tlr.ntiles, 1, 64, _rank_fn_for(small_tlr))
+        rep = execute_graph(g, small_tlr)
+        assert rep.counter.total > 0
+
+    def test_pool_active_by_default(self, small_tlr):
+        g = build_cholesky_graph(small_tlr.ntiles, 1, 64, _rank_fn_for(small_tlr))
+        rep = execute_graph(g, small_tlr)
+        assert rep.pool.stats.allocations + rep.pool.stats.reuses > 0
+
+    def test_pool_disabled(self, small_tlr):
+        g = build_cholesky_graph(small_tlr.ntiles, 1, 64, _rank_fn_for(small_tlr))
+        rep = execute_graph(g, small_tlr, use_pool=False)
+        assert rep.pool.stats.allocations == 0
+
+    def test_memory_tracker_seeded(self, small_tlr):
+        initial = small_tlr.memory_elements()
+        g = build_cholesky_graph(small_tlr.ntiles, 1, 64, _rank_fn_for(small_tlr))
+        rep = execute_graph(g, small_tlr)
+        assert rep.tracker.peak_elements >= initial
+
+    def test_max_rank_seen(self, small_tlr):
+        g = build_cholesky_graph(small_tlr.ntiles, 1, 64, _rank_fn_for(small_tlr))
+        rep = execute_graph(g, small_tlr)
+        assert rep.max_rank_seen > 0

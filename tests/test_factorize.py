@@ -1,0 +1,107 @@
+"""Unit tests for the reference BAND-DENSE-TLR Cholesky factorization."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro import TruncationRule, st_3d_exp_problem
+from repro.linalg import KernelClass
+from repro.matrix import BandTLRMatrix
+from repro.core import tlr_cholesky
+from repro.utils import NotPositiveDefiniteError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("band", [1, 2, 3, 8])
+    def test_backward_error_tracks_eps(self, small_problem, small_dense, rule8, band):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=band)
+        tlr_cholesky(m)
+        l = m.to_dense(lower_only=True)
+        err = np.linalg.norm(l @ l.T - small_dense) / np.linalg.norm(small_dense)
+        assert err < 1e-6
+
+    def test_dense_band_matches_lapack(self, small_problem, small_dense, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=8)
+        tlr_cholesky(m)
+        ref = np.tril(sla.cholesky(small_dense, lower=True))
+        np.testing.assert_allclose(m.to_dense(lower_only=True), ref, atol=1e-10)
+
+    def test_diagonal_tiles_lower_triangular(self, small_tlr):
+        tlr_cholesky(small_tlr)
+        for k in range(small_tlr.ntiles):
+            d = small_tlr.tile(k, k).data
+            assert np.all(np.triu(d, 1) == 0.0)
+            assert np.all(np.diag(d) > 0.0)
+
+    def test_looser_eps_larger_error(self, medium_problem, medium_dense):
+        errs = []
+        for eps in (1e-10, 1e-6, 1e-2):
+            m = BandTLRMatrix.from_problem(
+                medium_problem, TruncationRule(eps=eps), band_size=1
+            )
+            tlr_cholesky(m)
+            l = m.to_dense(lower_only=True)
+            errs.append(
+                np.linalg.norm(l @ l.T - medium_dense) / np.linalg.norm(medium_dense)
+            )
+        assert errs[0] < errs[1] < errs[2]
+
+    def test_ragged_last_tile(self):
+        prob = st_3d_exp_problem(450, 64, seed=1)  # 450 = 7*64 + 2
+        m = BandTLRMatrix.from_problem(prob, TruncationRule(eps=1e-8), band_size=2)
+        tlr_cholesky(m)
+        a = prob.dense()
+        l = m.to_dense(lower_only=True)
+        assert np.linalg.norm(l @ l.T - a) / np.linalg.norm(a) < 1e-6
+
+
+class TestFailureModes:
+    def test_indefinite_matrix_raises(self, rule8):
+        a = -np.eye(128)
+        m = BandTLRMatrix.from_dense(a, 32, rule8, band_size=4)
+        with pytest.raises(NotPositiveDefiniteError):
+            tlr_cholesky(m)
+
+    def test_too_loose_eps_can_break_spd(self, medium_problem):
+        """An over-aggressive threshold destroys positive definiteness on a
+        tightly-coupled matrix; the factorization must fail loudly, not
+        return garbage."""
+        m = BandTLRMatrix.from_problem(
+            medium_problem, TruncationRule(eps=0.8), band_size=1
+        )
+        try:
+            tlr_cholesky(m)
+        except NotPositiveDefiniteError as e:
+            assert e.tile_index is not None
+        # If it survived (matrix well-conditioned enough), the error is large
+        # but the code path is still exercised.
+
+
+class TestReport:
+    def test_counter_covers_expected_kernels(self, small_problem, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=3)
+        rep = tlr_cholesky(m)
+        seen = set(rep.counter.per_class)
+        assert KernelClass.POTRF_DENSE in seen
+        assert KernelClass.TRSM_DENSE in seen
+        assert KernelClass.TRSM_LR in seen
+        assert KernelClass.GEMM_LR in seen
+
+    def test_pure_tlr_kernel_set(self, small_tlr):
+        rep = tlr_cholesky(small_tlr)
+        assert set(rep.counter.per_class) == {
+            KernelClass.POTRF_DENSE,
+            KernelClass.TRSM_LR,
+            KernelClass.SYRK_LR,
+            KernelClass.GEMM_LR,
+        }
+
+    def test_dense_flop_total(self, small_problem, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=8)
+        rep = tlr_cholesky(m)
+        n = small_problem.n
+        assert rep.counter.total == pytest.approx(n**3 / 3, rel=0.1)
+
+    def test_max_rank_seen_positive(self, small_tlr):
+        rep = tlr_cholesky(small_tlr)
+        assert rep.max_rank_seen > 0

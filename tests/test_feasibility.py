@@ -1,0 +1,104 @@
+"""Unit tests for the memory-feasibility analysis."""
+
+import pytest
+
+from repro.analysis import (
+    RankModel,
+    footprint_per_node_gb,
+    max_feasible_matrix_size,
+    paper_rank_model,
+)
+from repro.runtime import MachineSpec
+from repro.utils import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RankModel(tile_size=256, k1=80, alpha=0.9, kmin=4)
+
+
+class TestFootprint:
+    def test_monotone_in_ntiles(self, model):
+        m = MachineSpec(nodes=4)
+        f = [footprint_per_node_gb(nt, model, m) for nt in (4, 8, 16, 32)]
+        assert all(a < b for a, b in zip(f, f[1:]))
+
+    def test_static_exceeds_dynamic(self, model):
+        m = MachineSpec(nodes=4)
+        dyn = footprint_per_node_gb(20, model, m)
+        stat = footprint_per_node_gb(20, model, m, static_maxrank=128)
+        assert stat > dyn
+
+    def test_more_nodes_less_per_node(self, model):
+        f4 = footprint_per_node_gb(16, model, MachineSpec(nodes=4))
+        f16 = footprint_per_node_gb(16, model, MachineSpec(nodes=16))
+        assert f16 == pytest.approx(f4 / 4)
+
+    def test_growth_increases_footprint(self, model):
+        m = MachineSpec(nodes=4)
+        g = footprint_per_node_gb(16, model, m, growth=True)
+        ng = footprint_per_node_gb(16, model, m, growth=False)
+        assert g >= ng
+
+    def test_wider_band_more_memory(self, model):
+        m = MachineSpec(nodes=4)
+        b1 = footprint_per_node_gb(16, model, m, band_size=1)
+        b4 = footprint_per_node_gb(16, model, m, band_size=4)
+        assert b4 > b1
+
+    def test_matches_bruteforce(self, model):
+        """O(NT) sweep equals the per-tile double loop."""
+        m = MachineSpec(nodes=3)
+        nt, b = 10, model.tile_size
+        brute = 0
+        for i in range(nt):
+            for j in range(i + 1):
+                if i - j < 2:
+                    brute += b * b
+                else:
+                    brute += 2 * b * model.final(i, j)
+        brute_gb = brute * 8 / m.nodes / 2**30
+        assert footprint_per_node_gb(nt, model, m, band_size=2) == pytest.approx(
+            brute_gb
+        )
+
+
+class TestMaxFeasible:
+    def test_dynamic_beats_static(self, model):
+        m = MachineSpec(nodes=4, memory_per_node_GB=1.0)
+        dyn = max_feasible_matrix_size(model, m)
+        stat = max_feasible_matrix_size(model, m, static_maxrank=128)
+        assert dyn.max_matrix_size > stat.max_matrix_size
+
+    def test_footprint_within_budget(self, model):
+        m = MachineSpec(nodes=4, memory_per_node_GB=1.0)
+        rep = max_feasible_matrix_size(model, m, capacity_fraction=0.5)
+        assert rep.footprint_gb <= 0.5
+
+    def test_one_more_tile_does_not_fit(self, model):
+        m = MachineSpec(nodes=2, memory_per_node_GB=0.5)
+        rep = max_feasible_matrix_size(model, m, capacity_fraction=0.8)
+        if 0 < rep.max_ntiles < 4096:
+            over = footprint_per_node_gb(rep.max_ntiles + 1, model, m)
+            assert over > 0.8 * 0.5
+
+    def test_zero_when_nothing_fits(self, model):
+        m = MachineSpec(nodes=1, memory_per_node_GB=1e-6)
+        rep = max_feasible_matrix_size(model, m)
+        assert rep.max_ntiles == 0
+
+    def test_rejects_bad_fraction(self, model):
+        with pytest.raises(ConfigurationError):
+            max_feasible_matrix_size(model, MachineSpec(), capacity_fraction=0.0)
+
+    def test_paper_scale_anchor(self):
+        """512 nodes x 128 GB at b = 2400: Prev's ceiling lands near the
+        paper's 3.24M, New's far beyond it (Section VIII-E/F)."""
+        model = paper_rank_model(2400, accuracy=1e-8)
+        machine = MachineSpec(nodes=512)
+        prev = max_feasible_matrix_size(
+            model, machine, band_size=1, static_maxrank=1200
+        )
+        new = max_feasible_matrix_size(model, machine, band_size=3)
+        assert 2_000_000 < prev.max_matrix_size < 6_000_000
+        assert new.max_matrix_size > 2 * prev.max_matrix_size

@@ -1,0 +1,135 @@
+"""Unit tests for the Table-I flop model and kernel taxonomy."""
+
+import pytest
+
+from repro.linalg import FlopCounter, KernelClass, dense_cholesky_flops, kernel_flops
+from repro.linalg.flops import (
+    flops_gemm_dense,
+    flops_gemm_dense_lrd,
+    flops_gemm_dense_lrlr,
+    flops_gemm_lr,
+    flops_gemm_lr_update_dense,
+    flops_potrf_dense,
+    flops_syrk_dense,
+    flops_syrk_lr,
+    flops_trsm_dense,
+    flops_trsm_lr,
+)
+
+
+class TestTableIFormulas:
+    """The exact published formulas."""
+
+    B, K = 2400, 100
+
+    def test_potrf(self):
+        assert flops_potrf_dense(self.B) == self.B**3 / 3
+
+    def test_trsm_dense(self):
+        assert flops_trsm_dense(self.B) == self.B**3
+
+    def test_trsm_lr(self):
+        assert flops_trsm_lr(self.B, self.K) == self.B**2 * self.K
+
+    def test_syrk_dense(self):
+        assert flops_syrk_dense(self.B) == self.B**3
+
+    def test_syrk_lr(self):
+        assert flops_syrk_lr(self.B, self.K) == 2 * self.B**2 * self.K + 4 * self.B * self.K**2
+
+    def test_gemm_dense(self):
+        assert flops_gemm_dense(self.B) == 2 * self.B**3
+
+    def test_gemm_dense_lrd(self):
+        assert flops_gemm_dense_lrd(self.B, self.K) == 4 * self.B**2 * self.K
+
+    def test_gemm_dense_lrlr_equal_ranks(self):
+        assert (
+            flops_gemm_dense_lrlr(self.B, self.K, self.K)
+            == 2 * self.B**2 * self.K + 4 * self.B * self.K**2
+        )
+
+    def test_gemm_lr_dense(self):
+        assert (
+            flops_gemm_lr_update_dense(self.B, self.K)
+            == 34 * self.B * self.K**2 + 157 * self.K**3
+        )
+
+    def test_gemm_lr(self):
+        assert flops_gemm_lr(self.B, self.K) == 36 * self.B * self.K**2 + 157 * self.K**3
+
+
+class TestTLRCheaperThanDense:
+    """Sanity: TLR kernels beat dense ones when k << b (the whole point)."""
+
+    def test_gemm_crossover_exists(self):
+        b = 2400
+        assert flops_gemm_lr(b, 50) < flops_gemm_dense(b)
+        # Near k = b/2 the TLR GEMM is MORE expensive (Fig. 2a's message).
+        assert flops_gemm_lr(b, b // 2) > flops_gemm_dense(b)
+
+    def test_trsm_always_cheaper_below_b(self):
+        b = 1000
+        assert flops_trsm_lr(b, b - 1) < flops_trsm_dense(b)
+
+
+class TestKernelFlopsDispatch:
+    @pytest.mark.parametrize("kind", list(KernelClass))
+    def test_all_classes_dispatch(self, kind):
+        assert kernel_flops(kind, 256, 16, 8) > 0
+
+    def test_gemm_dense_lrlr_uses_both_ranks(self):
+        a = kernel_flops(KernelClass.GEMM_DENSE_LRLR, 256, 16, 8)
+        b = kernel_flops(KernelClass.GEMM_DENSE_LRLR, 256, 16, 16)
+        assert a != b
+
+
+class TestKernelClassProperties:
+    def test_band_kernels(self):
+        band = {k for k in KernelClass if k.is_band_kernel}
+        assert band == {
+            KernelClass.POTRF_DENSE,
+            KernelClass.TRSM_DENSE,
+            KernelClass.SYRK_DENSE,
+            KernelClass.GEMM_DENSE,
+        }
+
+    def test_dense_output(self):
+        assert KernelClass.GEMM_DENSE_LRLR.is_dense_output
+        assert not KernelClass.GEMM_LR.is_dense_output
+        assert not KernelClass.TRSM_LR.is_dense_output
+
+
+class TestFlopCounter:
+    def test_accumulate(self):
+        c = FlopCounter()
+        c.add(KernelClass.GEMM_DENSE, 100.0)
+        c.add(KernelClass.GEMM_DENSE, 50.0)
+        c.add(KernelClass.POTRF_DENSE, 10.0)
+        assert c.total == 160.0
+        assert c.per_class_count[KernelClass.GEMM_DENSE] == 2
+
+    def test_total_for_subset(self):
+        c = FlopCounter()
+        c.add(KernelClass.GEMM_LR, 5.0)
+        c.add(KernelClass.GEMM_DENSE, 7.0)
+        assert c.total_for(KernelClass.GEMM_LR) == 5.0
+        assert c.total_for(KernelClass.GEMM_LR, KernelClass.GEMM_DENSE) == 12.0
+
+    def test_merge(self):
+        a, b = FlopCounter(), FlopCounter()
+        a.add(KernelClass.TRSM_LR, 1.0)
+        b.add(KernelClass.TRSM_LR, 2.0)
+        b.add(KernelClass.SYRK_LR, 3.0)
+        a.merge(b)
+        assert a.per_class[KernelClass.TRSM_LR] == 3.0
+        assert a.per_class[KernelClass.SYRK_LR] == 3.0
+
+    def test_report_mentions_total(self):
+        c = FlopCounter()
+        c.add(KernelClass.GEMM_LR, 5.0)
+        assert "total" in c.report()
+
+
+def test_dense_cholesky_flops():
+    assert dense_cholesky_flops(300) == pytest.approx(300**3 / 3)

@@ -1,0 +1,65 @@
+"""Unit tests for the rank-exact (generalized Table I) GEMM cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.flops import (
+    flops_gemm_lr,
+    flops_gemm_lr_dense_general,
+    flops_gemm_lr_general,
+    flops_gemm_lr_update_dense,
+)
+
+
+class TestReductionToTableI:
+    @pytest.mark.parametrize("b,k", [(450, 30), (1200, 100), (2400, 400)])
+    def test_gemm_lr_general_reduces_at_equal_ranks(self, b, k):
+        """At ka = kb = kc = k the general model equals Table I's
+        36bk² + 157k³ plus the (documented) small formation terms."""
+        general = flops_gemm_lr_general(b, k, k, k)
+        table = flops_gemm_lr(b, k)
+        formation = 4.0 * b * k * k
+        assert general == pytest.approx(table + formation, rel=1e-9)
+
+    @pytest.mark.parametrize("b,k", [(450, 30), (1200, 100)])
+    def test_gemm_lr_dense_general_matches_table_shape(self, b, k):
+        """At kc = ka = k the recompression part matches Table I's
+        36bk² + 157k³ (the published row rounds 36 down to 34)."""
+        general = flops_gemm_lr_dense_general(b, k, k)
+        expected = 2.0 * b * b * k + 36.0 * b * k * k + 157.0 * k**3
+        assert general == pytest.approx(expected, rel=1e-9)
+
+
+class TestHeterogeneousRanks:
+    def test_low_rank_update_into_high_rank_c_is_cheap(self):
+        """The scenario Table I's max-rank reading over-charges: a rank-10
+        update into a rank-130 tile costs far less than a 130-rank GEMM."""
+        b = 450
+        general = flops_gemm_lr_general(b, 130, 10, 12)
+        pessimistic = flops_gemm_lr(b, 130)
+        assert general < 0.5 * pessimistic
+
+    def test_update_rank_is_min_of_operands(self):
+        """kb above ka cannot raise the stacked rank."""
+        b = 300
+        f1 = flops_gemm_lr_general(b, 20, 8, 100)
+        f2 = flops_gemm_lr_general(b, 20, 8, 8)
+        # Only the W-formation term grows with kb, not the recompression.
+        assert f1 - f2 == pytest.approx(2.0 * b * 8 * (100 - 8))
+
+
+@given(
+    b=st.sampled_from([64, 450, 1200]),
+    kc=st.integers(1, 200),
+    ka=st.integers(1, 200),
+    kb=st.integers(1, 200),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_general_costs_positive_and_monotone_in_kc(b, kc, ka, kb):
+    f = flops_gemm_lr_general(b, kc, ka, kb)
+    assert f > 0
+    assert flops_gemm_lr_general(b, kc + 10, ka, kb) > f
+    fd = flops_gemm_lr_dense_general(b, kc, ka)
+    assert fd > 0
+    assert flops_gemm_lr_dense_general(b, kc + 10, ka) > fd

@@ -1,0 +1,80 @@
+"""Unit tests for trace rendering (Gantt / utilization timeline)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import gantt, utilization_timeline
+from repro.distribution import ProcessGrid, TwoDBlockCyclic
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+from repro.utils import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    g = build_cholesky_graph(8, 2, 256, lambda i, j: 16)
+    return simulate(
+        g,
+        TwoDBlockCyclic(ProcessGrid.squarest(2)),
+        MachineSpec(nodes=2, cores_per_node=2),
+        collect_trace=True,
+    ), g
+
+
+class TestGantt:
+    def test_renders_all_lanes(self, traced_result):
+        res, _ = traced_result
+        out = gantt(res, width=60)
+        lanes = [ln for ln in out.splitlines() if ln.startswith("p")]
+        # 2 processes x up to 2 cores.
+        assert 2 <= len(lanes) <= 4
+        assert all(len(ln) == len(lanes[0]) for ln in lanes)
+
+    def test_contains_kernel_glyphs(self, traced_result):
+        res, _ = traced_result
+        out = gantt(res, width=60)
+        for glyph in "PTSg":
+            assert glyph in out
+
+    def test_requires_trace(self, traced_result):
+        res, g = traced_result
+        no_trace = simulate(
+            g,
+            TwoDBlockCyclic(ProcessGrid.squarest(2)),
+            MachineSpec(nodes=2, cores_per_node=2),
+        )
+        with pytest.raises(ConfigurationError):
+            gantt(no_trace)
+
+    def test_max_rows_truncation(self, traced_result):
+        res, _ = traced_result
+        out = gantt(res, width=40, max_rows=1)
+        assert "more lanes" in out
+
+
+class TestUtilizationTimeline:
+    def test_bucket_count(self, traced_result):
+        res, _ = traced_result
+        t, busy = utilization_timeline(res, buckets=25)
+        assert len(t) == len(busy) == 25
+
+    def test_busy_never_exceeds_core_count(self, traced_result):
+        res, _ = traced_result
+        _, busy = utilization_timeline(res, buckets=30)
+        assert busy.max() <= res.nodes * res.cores_per_node + 1e-9
+
+    def test_integral_matches_busy_time(self, traced_result):
+        """Sum of bucket-busy * bucket-width equals total busy core-time."""
+        res, _ = traced_result
+        t, busy = utilization_timeline(res, buckets=200)
+        dt = res.makespan / 200
+        np.testing.assert_allclose(busy.sum() * dt, res.busy.sum(), rtol=1e-6)
+
+    def test_requires_trace(self, traced_result):
+        res, g = traced_result
+        no_trace = simulate(
+            g,
+            TwoDBlockCyclic(ProcessGrid.squarest(2)),
+            MachineSpec(nodes=2, cores_per_node=2),
+        )
+        with pytest.raises(ConfigurationError):
+            utilization_timeline(no_trace)

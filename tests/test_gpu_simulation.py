@@ -1,0 +1,82 @@
+"""Unit tests for GPU-accelerated simulation (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import BandDistribution, ProcessGrid, TwoDBlockCyclic
+from repro.linalg import KernelClass
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+from repro.utils import ConfigurationError
+
+RANK = lambda i, j: max(8, 96 // (i - j))
+
+
+@pytest.fixture(scope="module")
+def band_graph():
+    return build_cholesky_graph(20, 4, 1024, RANK)
+
+
+class TestGpuSimulation:
+    def test_all_tasks_complete(self, band_graph):
+        m = MachineSpec(nodes=2, cores_per_node=4, gpus_per_node=1)
+        d = BandDistribution(ProcessGrid.squarest(2), band_size=4)
+        res = simulate(band_graph, d, m)
+        assert res.total_flops == pytest.approx(band_graph.total_flops())
+
+    def test_gpu_busy_reported(self, band_graph):
+        m = MachineSpec(nodes=2, cores_per_node=4, gpus_per_node=1)
+        d = BandDistribution(ProcessGrid.squarest(2), band_size=4)
+        res = simulate(band_graph, d, m)
+        assert res.gpu_busy is not None
+        assert res.gpu_busy.sum() > 0
+
+    def test_no_gpu_means_none(self, band_graph):
+        m = MachineSpec(nodes=2, cores_per_node=4)
+        d = BandDistribution(ProcessGrid.squarest(2), band_size=4)
+        assert simulate(band_graph, d, m).gpu_busy is None
+
+    def test_gpus_speed_up_band_dominated_run(self, band_graph):
+        d = BandDistribution(ProcessGrid.squarest(2), band_size=4)
+        t0 = simulate(band_graph, d, MachineSpec(nodes=2, cores_per_node=4)).makespan
+        t1 = simulate(
+            band_graph, d, MachineSpec(nodes=2, cores_per_node=4, gpus_per_node=1)
+        ).makespan
+        assert t1 < t0
+
+    def test_lr_work_stays_on_cpu(self):
+        """A pure-TLR graph (band 1, no dense GEMM/TRSM/SYRK off diagonal)
+        gives the GPU only the POTRFs."""
+        g = build_cholesky_graph(10, 1, 512, RANK)
+        m = MachineSpec(nodes=1, cores_per_node=4, gpus_per_node=2)
+        d = TwoDBlockCyclic(ProcessGrid(1, 1))
+        res = simulate(g, d, m)
+        potrf_gpu_time = 10 * (512**3 / 3) / (m.gpu_dense_gflops * 1e9 * m.rates.potrf_fraction)
+        assert res.gpu_busy.sum() == pytest.approx(potrf_gpu_time, rel=1e-6)
+
+    def test_cpu_only_tasks_do_not_deadlock_on_free_gpu(self):
+        """An idle GPU with only low-rank work ready must not stall."""
+        g = build_cholesky_graph(8, 1, 256, lambda i, j: 32)
+        m = MachineSpec(nodes=1, cores_per_node=1, gpus_per_node=4)
+        d = TwoDBlockCyclic(ProcessGrid(1, 1))
+        res = simulate(g, d, m)
+        assert res.makespan > 0
+
+    def test_deterministic(self, band_graph):
+        d = BandDistribution(ProcessGrid.squarest(2), band_size=4)
+        m = MachineSpec(nodes=2, cores_per_node=4, gpus_per_node=1)
+        a = simulate(band_graph, d, m)
+        b = simulate(band_graph, d, m)
+        assert a.makespan == b.makespan
+
+    def test_rejects_negative_gpus(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(gpus_per_node=-1)
+
+    def test_breakdown_includes_gpu_time(self, band_graph):
+        m = MachineSpec(nodes=2, cores_per_node=4, gpus_per_node=1)
+        d = BandDistribution(ProcessGrid.squarest(2), band_size=4)
+        res = simulate(band_graph, d, m)
+        total = sum(res.busy_by_kernel.values())
+        assert total == pytest.approx(
+            float(res.busy.sum() + res.gpu_busy.sum()), rel=1e-9
+        )

@@ -1,0 +1,85 @@
+"""Unit tests for location generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    generate_locations,
+    grid_side_for,
+    perturbed_grid,
+    uniform_cloud,
+)
+from repro.utils import ConfigurationError
+
+
+class TestGridSideFor:
+    @pytest.mark.parametrize(
+        "n,ndim,expected",
+        [(8, 3, 2), (9, 3, 3), (27, 3, 3), (28, 3, 4), (4, 2, 2), (5, 2, 3)],
+    )
+    def test_values(self, n, ndim, expected):
+        assert grid_side_for(n, ndim) == expected
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ConfigurationError):
+            grid_side_for(10, 4)
+
+
+class TestPerturbedGrid:
+    def test_shape_and_bounds(self):
+        pts = perturbed_grid(100, 3, seed=0)
+        assert pts.shape == (100, 3)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_zero_jitter_is_regular(self):
+        pts = perturbed_grid(8, 3, jitter=0.0)
+        # 2x2x2 lattice with spacing 1/2, centred: coordinates in {0.25, 0.75}
+        assert set(np.round(np.unique(pts), 6)) == {0.25, 0.75}
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_array_equal(
+            perturbed_grid(50, 3, seed=9), perturbed_grid(50, 3, seed=9)
+        )
+
+    def test_distinct_points(self):
+        pts = perturbed_grid(200, 3, seed=1)
+        assert len(np.unique(pts, axis=0)) == 200
+
+    def test_rejects_jitter_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            perturbed_grid(10, 3, jitter=1.0)
+
+    def test_2d(self):
+        assert perturbed_grid(10, 2, seed=0).shape == (10, 2)
+
+
+class TestUniformCloud:
+    def test_shape(self):
+        assert uniform_cloud(64, 3, seed=0).shape == (64, 3)
+
+    def test_bounds(self):
+        pts = uniform_cloud(1000, 2, seed=0)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ConfigurationError):
+            uniform_cloud(10, 1)
+
+
+class TestGenerateLocations:
+    def test_morton_ordering_applied(self):
+        raw = generate_locations(300, 3, seed=3, morton=False)
+        ordered = generate_locations(300, 3, seed=3, morton=True)
+        # Same multiset of points, different order.
+        assert sorted(map(tuple, raw)) == sorted(map(tuple, ordered))
+        d_raw = np.linalg.norm(np.diff(raw, axis=0), axis=1).mean()
+        d_ord = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+        assert d_ord < d_raw
+
+    def test_uniform_layout(self):
+        pts = generate_locations(100, 3, layout="uniform", seed=0)
+        assert pts.shape == (100, 3)
+
+    def test_rejects_unknown_layout(self):
+        with pytest.raises(ConfigurationError, match="layout"):
+            generate_locations(10, 3, layout="hexagonal")

@@ -1,0 +1,109 @@
+"""Unit tests for the HODLR baseline format."""
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule, st_3d_exp_problem
+from repro.hodlr import HODLRMatrix, build_cluster_tree
+from repro.statistics import st_2d_exp_problem
+from repro.utils import ConfigurationError
+
+
+class TestClusterTree:
+    def test_leaves_partition_range(self):
+        tree = build_cluster_tree(100, 16)
+        leaves = list(tree.leaves())
+        assert leaves[0].lo == 0
+        assert leaves[-1].hi == 100
+        for a, b in zip(leaves, leaves[1:]):
+            assert a.hi == b.lo
+
+    def test_leaf_size_respected(self):
+        tree = build_cluster_tree(100, 16)
+        assert all(leaf.size <= 16 for leaf in tree.leaves())
+
+    def test_single_leaf(self):
+        tree = build_cluster_tree(8, 16)
+        assert tree.is_leaf
+        assert tree.depth == 0
+
+    def test_balanced_depth(self):
+        tree = build_cluster_tree(256, 16)
+        assert tree.depth == 4  # 256 -> 128 -> 64 -> 32 -> 16
+
+
+@pytest.fixture(scope="module")
+def problem3d():
+    return st_3d_exp_problem(512, 64, seed=21)
+
+
+@pytest.fixture(scope="module")
+def dense3d(problem3d):
+    return problem3d.dense()
+
+
+class TestCompression:
+    def test_reconstruction_error(self, problem3d, dense3d):
+        h = HODLRMatrix.from_problem(problem3d, TruncationRule(eps=1e-8))
+        assert h.compression_error(dense3d) < 1e-6
+
+    def test_from_dense_matches_from_problem(self, problem3d, dense3d):
+        rule = TruncationRule(eps=1e-8)
+        h1 = HODLRMatrix.from_problem(problem3d, rule)
+        h2 = HODLRMatrix.from_dense(dense3d, rule, 64)
+        np.testing.assert_allclose(h1.to_dense(), h2.to_dense(), atol=1e-9)
+
+    def test_block_count(self, problem3d):
+        h = HODLRMatrix.from_problem(problem3d, TruncationRule(eps=1e-8))
+        # A full dyadic tree over 512 with 64-leaves has 7 internal nodes.
+        assert len(h.offdiag) == 7
+        assert len(h.leaf_blocks) == 8
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ConfigurationError):
+            HODLRMatrix.from_dense(np.zeros((4, 6)), TruncationRule(), 2)
+
+
+class TestMatvec:
+    def test_matches_dense(self, problem3d, dense3d):
+        h = HODLRMatrix.from_problem(problem3d, TruncationRule(eps=1e-10))
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(512)
+        np.testing.assert_allclose(h.matvec(x), dense3d @ x, atol=1e-6)
+
+    def test_multicolumn(self, problem3d, dense3d):
+        h = HODLRMatrix.from_problem(problem3d, TruncationRule(eps=1e-10))
+        x = np.random.default_rng(1).standard_normal((512, 2))
+        np.testing.assert_allclose(h.matvec(x), dense3d @ x, atol=1e-6)
+
+    def test_wrong_length_rejected(self, problem3d):
+        h = HODLRMatrix.from_problem(problem3d, TruncationRule(eps=1e-6))
+        with pytest.raises(ConfigurationError):
+            h.matvec(np.zeros(7))
+
+
+class TestWeakAdmissibilityContrast:
+    """Section II: weak admissibility suits 2D; 3D blocks carry high rank."""
+
+    def test_3d_top_block_rank_exceeds_2d(self):
+        rule = TruncationRule(eps=1e-6)
+        h2 = HODLRMatrix.from_problem(st_2d_exp_problem(1024, 64, seed=3), rule)
+        h3 = HODLRMatrix.from_problem(st_3d_exp_problem(1024, 64, seed=3), rule)
+        top2 = h2.rank_profile()[0][1]
+        top3 = h3.rank_profile()[0][1]
+        assert top3 > 1.5 * top2
+
+    def test_top_level_rank_grows_with_block_size_in_3d(self):
+        """The 3D failure mode: bigger off-diagonal blocks, bigger ranks —
+        the rank is not bounded as weak admissibility would need."""
+        rule = TruncationRule(eps=1e-6)
+        h = HODLRMatrix.from_problem(st_3d_exp_problem(2048, 64, seed=4), rule)
+        profile = h.rank_profile()  # sorted by block size, descending
+        big_rank = profile[0][1]
+        small_ranks = [r for (sz, r, lvl) in profile if sz <= 128]
+        assert big_rank > 2 * max(small_ranks)
+
+    def test_memory_reporting(self, problem3d):
+        h = HODLRMatrix.from_problem(problem3d, TruncationRule(eps=1e-6))
+        dense_elems = 512 * 512
+        assert 0 < h.memory_elements() < dense_elems

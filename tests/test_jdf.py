@@ -1,0 +1,132 @@
+"""Unit + property tests for the JDF-like DSL compiler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import KernelClass
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+from repro.runtime.jdf import (
+    CHOLESKY_JDF,
+    cholesky_graph_from_jdf,
+    compile_jdf,
+    parse_jdf,
+)
+from repro.distribution import ProcessGrid, TwoDBlockCyclic
+from repro.utils import ConfigurationError
+
+RANK = lambda i, j: max(4, 24 - 2 * (i - j))
+
+MINI = """
+# a one-task graph
+task POTRF(k)
+  range: k = 0..NT-1
+  kind: POTRF
+  kernel: POTRF_DENSE
+  flops: b**3 / 3
+  writes: k, k
+  dep: POTRF(k-1) tile=(k-1, k-1) elems=b*b if k > 0
+"""
+
+
+def mini_env(nt=4, b=32):
+    return {"NT": nt, "b": b, "band": 1, **{k.name: k for k in KernelClass}}
+
+
+class TestParser:
+    def test_parses_task_blocks(self):
+        specs = parse_jdf(CHOLESKY_JDF)
+        assert set(specs) == {"POTRF", "TRSM", "SYRK", "GEMM"}
+        assert specs["GEMM"].indices == ["m", "n", "k"]
+        assert len(specs["GEMM"].deps) == 3
+
+    def test_comments_ignored(self):
+        specs = parse_jdf(MINI)
+        assert list(specs) == ["POTRF"]
+
+    def test_rejects_statement_outside_task(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            parse_jdf("kind: POTRF")
+
+    def test_rejects_duplicate_task(self):
+        text = MINI + MINI
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            parse_jdf(text)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError, match="lo..hi"):
+            parse_jdf("task T(i)\n  range: i = 5\n")
+
+    def test_rejects_malformed_dep(self):
+        with pytest.raises(ConfigurationError, match="malformed dep"):
+            parse_jdf("task T(i)\n  dep: garbage\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="no tasks"):
+            parse_jdf("# nothing here\n")
+
+
+class TestCompiler:
+    def test_mini_chain(self):
+        g = compile_jdf(MINI, mini_env(nt=5))
+        assert g.n_tasks == 5
+        order = g.topological_order()
+        assert [tid[1] for tid in order] == [0, 1, 2, 3, 4]
+
+    def test_boundary_dep_skipped(self):
+        """The k=0 instance has no k-1 predecessor (guard + range check)."""
+        g = compile_jdf(MINI, mini_env())
+        first = next(t for tid, t in g.tasks.items() if tid[1] == 0)
+        assert first.deps == []
+
+    def test_requires_env_keys(self):
+        with pytest.raises(ConfigurationError, match="env must define"):
+            compile_jdf(MINI, {"NT": 4})
+
+    def test_kernel_must_be_kernelclass(self):
+        text = MINI.replace("kernel: POTRF_DENSE", "kernel: 42")
+        with pytest.raises(ConfigurationError, match="KernelClass"):
+            compile_jdf(text, mini_env())
+
+    def test_unknown_kind_rejected(self):
+        text = MINI.replace("kind: POTRF", "kind: FROBNICATE")
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            compile_jdf(text, mini_env())
+
+    def test_dep_on_unknown_task(self):
+        text = MINI.replace("dep: POTRF(k-1)", "dep: NOPE(k-1)")
+        with pytest.raises(ConfigurationError, match="unknown task"):
+            compile_jdf(text, mini_env())
+
+
+class TestCholeskyJdf:
+    def test_identical_to_ptg_builder(self):
+        g1 = cholesky_graph_from_jdf(8, 3, 256, RANK)
+        g2 = build_cholesky_graph(8, 3, 256, RANK)
+        assert set(g1.tasks) == set(g2.tasks)
+        for tid in g1.tasks:
+            t1, t2 = g1.tasks[tid], g2.tasks[tid]
+            assert t1.kernel is t2.kernel
+            assert t1.flops == pytest.approx(t2.flops)
+            e1 = {(e.src, e.tile, e.elements) for e in t1.deps}
+            e2 = {(e.src, e.tile, e.elements) for e in t2.deps}
+            assert e1 == e2, tid
+
+    def test_jdf_graph_simulates(self):
+        g = cholesky_graph_from_jdf(6, 2, 128, RANK)
+        res = simulate(
+            g,
+            TwoDBlockCyclic(ProcessGrid.squarest(2)),
+            MachineSpec(nodes=2, cores_per_node=2),
+        )
+        assert res.makespan > 0
+
+
+@given(nt=st.integers(2, 7), band=st.integers(1, 4), k=st.integers(2, 40))
+@settings(max_examples=15, deadline=None)
+def test_property_jdf_equals_ptg(nt, band, k):
+    g1 = cholesky_graph_from_jdf(nt, band, 64, lambda i, j: k)
+    g2 = build_cholesky_graph(nt, band, 64, lambda i, j: k)
+    assert set(g1.tasks) == set(g2.tasks)
+    assert g1.total_flops() == pytest.approx(g2.total_flops())
+    assert g1.critical_path_flops() == pytest.approx(g2.critical_path_flops())

@@ -1,0 +1,100 @@
+"""Unit tests for TLR-accelerated kriging."""
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule, st_3d_exp_problem
+from repro.core import tlr_cholesky
+from repro.core.kriging import krige
+from repro.matrix import BandTLRMatrix
+from repro.statistics import matern
+from repro.geometry import block_distances
+from repro.utils import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    prob = st_3d_exp_problem(512, 64, seed=31, nugget=1e-4)
+    z = prob.sample_measurements(seed=3)
+    factor = BandTLRMatrix.from_problem(prob, TruncationRule(eps=1e-10), 2)
+    tlr_cholesky(factor)
+    rng = np.random.default_rng(4)
+    targets = rng.uniform(0.1, 0.9, size=(40, 3))
+    return prob, z, factor, targets
+
+
+def dense_reference(prob, z, targets):
+    a = prob.dense()
+    cross = matern(block_distances(targets, prob.points), prob.params)
+    inv_z = np.linalg.solve(a, z)
+    mean = cross @ inv_z
+    var = (
+        prob.params.variance
+        + prob.nugget
+        - np.einsum("ij,ji->i", cross, np.linalg.solve(a, cross.T))
+    )
+    return mean, var
+
+
+class TestAgainstDenseGP:
+    def test_mean_matches(self, setup):
+        prob, z, factor, targets = setup
+        res = krige(prob, factor, z, targets)
+        ref_mean, _ = dense_reference(prob, z, targets)
+        np.testing.assert_allclose(res.mean, ref_mean, atol=1e-6)
+
+    def test_variance_matches(self, setup):
+        prob, z, factor, targets = setup
+        res = krige(prob, factor, z, targets)
+        _, ref_var = dense_reference(prob, z, targets)
+        np.testing.assert_allclose(res.variance, ref_var, atol=1e-6)
+
+    def test_batching_invariant(self, setup):
+        prob, z, factor, targets = setup
+        a = krige(prob, factor, z, targets, batch=7)
+        b = krige(prob, factor, z, targets, batch=1000)
+        np.testing.assert_allclose(a.mean, b.mean, atol=1e-12)
+        np.testing.assert_allclose(a.variance, b.variance, atol=1e-12)
+
+
+class TestStatisticalSanity:
+    def test_prediction_at_observed_point_recovers_observation(self, setup):
+        """With a tiny nugget, kriging at an observed location returns the
+        observation with near-zero variance."""
+        prob, z, factor, _ = setup
+        res = krige(prob, factor, z, prob.points[:5])
+        np.testing.assert_allclose(res.mean, z[:5], atol=1e-2)
+        assert np.all(res.variance < 1e-2)
+
+    def test_far_targets_revert_to_prior(self, setup):
+        """Far from all observations the prediction reverts to the prior:
+        mean ~ 0, variance ~ sigma²."""
+        prob, z, factor, _ = setup
+        far = np.array([[50.0, 50.0, 50.0]])
+        res = krige(prob, factor, z, far)
+        assert abs(res.mean[0]) < 1e-6
+        assert res.variance[0] == pytest.approx(
+            prob.params.variance + prob.nugget, rel=1e-6
+        )
+
+    def test_variance_nonnegative(self, setup):
+        prob, z, factor, targets = setup
+        res = krige(prob, factor, z, targets)
+        assert np.all(res.variance >= 0.0)
+
+
+class TestValidation:
+    def test_bad_z_length(self, setup):
+        prob, _, factor, targets = setup
+        with pytest.raises(ConfigurationError):
+            krige(prob, factor, np.zeros(5), targets)
+
+    def test_bad_target_dim(self, setup):
+        prob, z, factor, _ = setup
+        with pytest.raises(ConfigurationError):
+            krige(prob, factor, z, np.zeros((4, 2)))
+
+    def test_bad_batch(self, setup):
+        prob, z, factor, targets = setup
+        with pytest.raises(ConfigurationError):
+            krige(prob, factor, z, targets, batch=0)

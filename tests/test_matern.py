@@ -1,0 +1,84 @@
+"""Unit tests for the Matérn kernel (Eq. 2) and its special cases."""
+
+import numpy as np
+import pytest
+
+from repro.statistics import ST_3D_EXP, MaternParams, matern, matern_exponential
+from repro.utils import ConfigurationError
+
+
+class TestMaternParams:
+    def test_defaults_are_st3dexp(self):
+        assert ST_3D_EXP.as_tuple() == (1.0, 0.1, 0.5)
+
+    @pytest.mark.parametrize("field", ["variance", "correlation_length", "smoothness"])
+    def test_rejects_nonpositive(self, field):
+        kwargs = {field: 0.0}
+        with pytest.raises(ConfigurationError):
+            MaternParams(**kwargs)
+
+
+class TestSt3dExpReduction:
+    def test_equals_decaying_exponential(self):
+        """The paper: theta=(1, 0.1, 0.5) reduces Eq. 2 to exp(-r/0.1)."""
+        r = np.linspace(0, 2, 101)
+        np.testing.assert_allclose(matern(r, ST_3D_EXP), np.exp(-r / 0.1))
+
+    def test_matches_general_bessel_branch(self):
+        """Closed form at nu=0.5 equals the literal Eq. 2 evaluation."""
+        r = np.linspace(0.01, 1.0, 50)
+        closed = matern(r, MaternParams(1.0, 0.1, 0.5))
+        bessel = matern(r, MaternParams(1.0, 0.1, 0.5000001))
+        np.testing.assert_allclose(closed, bessel, rtol=1e-4)
+
+
+class TestHalfIntegerForms:
+    @pytest.mark.parametrize("nu", [1.5, 2.5])
+    def test_closed_forms_match_bessel(self, nu):
+        r = np.linspace(0.01, 0.5, 40)
+        closed = matern(r, MaternParams(2.0, 0.2, nu))
+        bessel = matern(r, MaternParams(2.0, 0.2, nu + 1e-7))
+        np.testing.assert_allclose(closed, bessel, rtol=1e-4)
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("nu", [0.5, 0.8, 1.5, 2.5, 3.7])
+    def test_value_at_zero_is_variance(self, nu):
+        p = MaternParams(3.5, 0.1, nu)
+        assert matern(np.array(0.0), p) == pytest.approx(3.5)
+
+    @pytest.mark.parametrize("nu", [0.5, 1.2, 2.5])
+    def test_monotone_decreasing(self, nu):
+        r = np.linspace(0, 3, 200)
+        c = matern(r, MaternParams(1.0, 0.1, nu))
+        assert np.all(np.diff(c) <= 1e-12)
+
+    def test_large_distance_underflow_is_zero(self):
+        # K_nu underflows far in the tail; limit must be exactly 0, not NaN.
+        c = matern(np.array([1e3]), MaternParams(1.0, 0.01, 1.3))
+        assert c[0] == 0.0
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ConfigurationError):
+            matern(np.array([-0.1]))
+
+    def test_positive_semidefinite_small_gram(self):
+        """The Gram matrix of a valid covariance kernel must be PSD."""
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(size=(40, 3))
+        from repro.geometry import pairwise_distances
+
+        for nu in (0.5, 1.5, 2.2):
+            gram = matern(pairwise_distances(pts), MaternParams(1.0, 0.3, nu))
+            eigs = np.linalg.eigvalsh(gram)
+            assert eigs.min() > -1e-8
+
+    def test_matern_exponential_helper(self):
+        r = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(
+            matern_exponential(r, 2.0, 0.25), 2.0 * np.exp(-r / 0.25)
+        )
+
+    def test_shape_preserved(self):
+        r = np.zeros((3, 4))
+        assert matern(r).shape == (3, 4)

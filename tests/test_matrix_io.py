@@ -1,0 +1,73 @@
+"""Unit tests for matrix serialization."""
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule, st_3d_exp_problem
+from repro.core import solve_spd, tlr_cholesky
+from repro.matrix import BandTLRMatrix
+from repro.matrix.io import load_matrix, save_matrix
+from repro.utils import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    prob = st_3d_exp_problem(512, 64, seed=8)
+    return BandTLRMatrix.from_problem(prob, TruncationRule(eps=1e-8), 2)
+
+
+class TestRoundTrip:
+    def test_identical_reconstruction(self, matrix, tmp_path):
+        p = save_matrix(matrix, tmp_path / "m.npz")
+        loaded = load_matrix(p)
+        np.testing.assert_array_equal(loaded.to_dense(), matrix.to_dense())
+
+    def test_metadata_preserved(self, matrix, tmp_path):
+        loaded = load_matrix(save_matrix(matrix, tmp_path / "m.npz"))
+        assert loaded.band_size == matrix.band_size
+        assert loaded.desc == matrix.desc
+        assert loaded.rule == matrix.rule
+
+    def test_tile_formats_preserved(self, matrix, tmp_path):
+        loaded = load_matrix(save_matrix(matrix, tmp_path / "m.npz"))
+        for ij in matrix.tiles:
+            assert type(loaded.tiles[ij]) is type(matrix.tiles[ij])
+            assert loaded.tiles[ij].rank == matrix.tiles[ij].rank
+
+    def test_suffix_appended(self, matrix, tmp_path):
+        p = save_matrix(matrix, tmp_path / "noext")
+        assert p.suffix == ".npz"
+
+    def test_factorized_matrix_roundtrip(self, tmp_path):
+        """A factor can be persisted and reused for solves."""
+        prob = st_3d_exp_problem(512, 64, seed=8)
+        m = BandTLRMatrix.from_problem(prob, TruncationRule(eps=1e-8), 2)
+        tlr_cholesky(m)
+        loaded = load_matrix(save_matrix(m, tmp_path / "f.npz"))
+
+        a = prob.dense()
+        rng = np.random.default_rng(0)
+        x_true = rng.standard_normal(512)
+        x = solve_spd(loaded, a @ x_true)
+        assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-6
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such file"):
+            load_matrix(tmp_path / "absent.npz")
+
+    def test_not_an_archive(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        np.savez(p, a=np.zeros(3))
+        with pytest.raises(ConfigurationError, match="not a repro matrix"):
+            load_matrix(p)
+
+    def test_incomplete_archive(self, matrix, tmp_path):
+        p = save_matrix(matrix, tmp_path / "m.npz")
+        # Rewrite the archive without one tile.
+        with np.load(p) as data:
+            arrays = {k: data[k] for k in data.files if k != "D_0_0"}
+        np.savez(p, **arrays)
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            load_matrix(p)

@@ -1,0 +1,100 @@
+"""Unit tests for the reusable dynamic memory pool."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import MemoryPool
+from repro.utils import MemoryPoolError
+
+
+class TestAllocate:
+    def test_fresh_allocation(self):
+        pool = MemoryPool()
+        buf = pool.allocate((4, 5))
+        assert buf.shape == (4, 5)
+        assert pool.stats.allocations == 1
+        assert pool.stats.reuses == 0
+
+    def test_reuse_after_release(self):
+        pool = MemoryPool()
+        a = pool.allocate((4, 5))
+        pool.release(a)
+        b = pool.allocate((4, 5))
+        assert pool.stats.reuses == 1
+
+    def test_reuse_across_shapes_same_size(self):
+        pool = MemoryPool()
+        a = pool.allocate((4, 5))
+        pool.release(a)
+        b = pool.allocate((5, 4))  # 20 elements either way
+        assert b.shape == (5, 4)
+        assert pool.stats.reuses == 1
+
+    def test_no_reuse_for_different_size(self):
+        pool = MemoryPool()
+        a = pool.allocate((4, 5))
+        pool.release(a)
+        pool.allocate((4, 6))
+        assert pool.stats.reuses == 0
+        assert pool.stats.allocations == 2
+
+
+class TestRelease:
+    def test_double_free_detected(self):
+        pool = MemoryPool()
+        a = pool.allocate((2, 2))
+        pool.release(a)
+        with pytest.raises(MemoryPoolError):
+            pool.release(a)
+
+    def test_foreign_buffer_rejected(self):
+        pool = MemoryPool()
+        with pytest.raises(MemoryPoolError):
+            pool.release(np.zeros((2, 2)))
+
+
+class TestAccounting:
+    def test_outstanding_bytes(self):
+        pool = MemoryPool()
+        a = pool.allocate((10,))
+        assert pool.stats.outstanding_bytes == 80
+        pool.release(a)
+        assert pool.stats.outstanding_bytes == 0
+        assert pool.free_bytes == 80
+
+    def test_peak_bytes(self):
+        pool = MemoryPool()
+        a = pool.allocate((10,))
+        b = pool.allocate((10,))
+        pool.release(a)
+        pool.release(b)
+        assert pool.stats.peak_bytes == 160
+
+    def test_hit_rate(self):
+        pool = MemoryPool()
+        a = pool.allocate((3,))
+        pool.release(a)
+        pool.allocate((3,))
+        assert pool.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty_pool(self):
+        assert MemoryPool().stats.hit_rate == 0.0
+
+
+class TestTake:
+    def test_take_copies_data(self):
+        pool = MemoryPool()
+        src = np.arange(6.0).reshape(2, 3)
+        buf = pool.take(src)
+        np.testing.assert_array_equal(buf, src)
+        assert buf is not src
+        # Adopted buffers are pool-owned and releasable.
+        pool.release(buf)
+
+    def test_take_reuses_freed_buffers(self):
+        pool = MemoryPool()
+        a = pool.allocate((2, 3))
+        pool.release(a)
+        buf = pool.take(np.ones((2, 3)))
+        assert pool.stats.reuses == 1
+        np.testing.assert_array_equal(buf, np.ones((2, 3)))

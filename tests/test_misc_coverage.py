@@ -1,0 +1,90 @@
+"""Coverage for corners not exercised elsewhere: upper-triangular band
+distribution at scale, report formatting options, CommStats properties,
+rank-grid rendering widths."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, render_rank_grid
+from repro.distribution import BandDistribution, ProcessGrid, load_per_process
+from repro.runtime.simulator import CommStats
+from repro.utils import ConfigurationError
+
+
+class TestUpperBandDistribution:
+    """Fig. 5(c): the column-based variant for upper-triangular sweeps."""
+
+    def test_on_band_column_shares_owner(self):
+        d = BandDistribution(ProcessGrid(2, 2), band_size=3, uplo="upper")
+        j = 5
+        owners = {d.owner(i, j) for i in range(j, j + 3)}
+        assert len(owners) == 1
+
+    def test_column_owners_cycle(self):
+        d = BandDistribution(ProcessGrid(2, 2), band_size=2, uplo="upper")
+        owners = [d.owner(j, j) for j in range(8)]
+        assert owners == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_lower_and_upper_differ_on_band(self):
+        lo = BandDistribution(ProcessGrid(2, 2), band_size=3, uplo="lower")
+        up = BandDistribution(ProcessGrid(2, 2), band_size=3, uplo="upper")
+        diffs = sum(
+            lo.owner(i, j) != up.owner(i, j)
+            for i in range(8)
+            for j in range(i + 1)
+            if lo.on_band(i, j)
+        )
+        assert diffs > 0
+
+    def test_off_band_identical_between_variants(self):
+        lo = BandDistribution(ProcessGrid(2, 2), band_size=2, uplo="lower")
+        up = BandDistribution(ProcessGrid(2, 2), band_size=2, uplo="upper")
+        for i in range(10):
+            for j in range(i + 1):
+                if not lo.on_band(i, j):
+                    assert lo.owner(i, j) == up.owner(i, j)
+
+    def test_weighted_load_balanced(self):
+        d = BandDistribution(ProcessGrid.squarest(4), band_size=2)
+        load = load_per_process(d, 16, weight=lambda i, j: 2.0)
+        assert load.sum() == pytest.approx(2.0 * 16 * 17 / 2)
+
+
+class TestCommStats:
+    def test_remote_fraction(self):
+        c = CommStats(local_edges=3, remote_edges=1)
+        assert c.remote_fraction == 0.25
+
+    def test_remote_fraction_empty(self):
+        assert CommStats().remote_fraction == 0.0
+
+
+class TestFormatting:
+    def test_floatfmt_option(self):
+        out = format_table(["x"], [[1.23456]], floatfmt=".1f")
+        assert "1.2" in out and "1.23" not in out
+
+    def test_bool_cells(self):
+        out = format_table(["ok"], [[True]])
+        assert "True" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_render_width_parameter(self):
+        g = np.array([[-1, -1], [123, -1]])
+        out = render_rank_grid(g, width=6)
+        assert "   123" in out
+
+
+class TestValidationEdges:
+    def test_render_rank_grid_single_cell(self):
+        assert "7" in render_rank_grid(np.array([[7]]))
+
+    def test_format_table_mixed_types(self):
+        out = format_table(
+            ["name", "n", "t"], [["run", 3, 0.5], ["other", 10, 1.25]]
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows

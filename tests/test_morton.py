@@ -1,0 +1,139 @@
+"""Unit + property tests for Morton (Z-order) encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    morton_argsort,
+    morton_decode_2d,
+    morton_decode_3d,
+    morton_encode_2d,
+    morton_encode_3d,
+)
+from repro.utils import ConfigurationError
+
+
+class TestEncode2D:
+    def test_origin_is_zero(self):
+        assert morton_encode_2d(np.array([0]), np.array([0]))[0] == 0
+
+    def test_unit_steps(self):
+        # (1,0) -> 1, (0,1) -> 2, (1,1) -> 3: the Z pattern.
+        assert morton_encode_2d(np.array([1]), np.array([0]))[0] == 1
+        assert morton_encode_2d(np.array([0]), np.array([1]))[0] == 2
+        assert morton_encode_2d(np.array([1]), np.array([1]))[0] == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            morton_encode_2d(np.array([-1]), np.array([0]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            morton_encode_2d(np.array([4]), np.array([0]), bits=2)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            morton_encode_2d(np.array([0]), np.array([0]), bits=40)
+
+
+class TestEncode3D:
+    def test_unit_steps(self):
+        # (1,0,0) -> 1, (0,1,0) -> 2, (0,0,1) -> 4.
+        assert morton_encode_3d(*(np.array([v]) for v in (1, 0, 0)))[0] == 1
+        assert morton_encode_3d(*(np.array([v]) for v in (0, 1, 0)))[0] == 2
+        assert morton_encode_3d(*(np.array([v]) for v in (0, 0, 1)))[0] == 4
+
+    def test_max_coordinate_roundtrip(self):
+        m = (1 << 21) - 1
+        code = morton_encode_3d(np.array([m]), np.array([m]), np.array([m]))
+        x, y, z = morton_decode_3d(code)
+        assert (x[0], y[0], z[0]) == (m, m, m)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 2**20 - 1),
+            st.integers(0, 2**20 - 1),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_2d(coords):
+    ix = np.array([c[0] for c in coords])
+    iy = np.array([c[1] for c in coords])
+    x2, y2 = morton_decode_2d(morton_encode_2d(ix, iy))
+    np.testing.assert_array_equal(x2, ix)
+    np.testing.assert_array_equal(y2, iy)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 2**21 - 1),
+            st.integers(0, 2**21 - 1),
+            st.integers(0, 2**21 - 1),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_3d(coords):
+    ix = np.array([c[0] for c in coords])
+    iy = np.array([c[1] for c in coords])
+    iz = np.array([c[2] for c in coords])
+    x2, y2, z2 = morton_decode_3d(morton_encode_3d(ix, iy, iz))
+    np.testing.assert_array_equal(x2, ix)
+    np.testing.assert_array_equal(y2, iy)
+    np.testing.assert_array_equal(z2, iz)
+
+
+def test_encoding_is_monotone_per_octant():
+    """Doubling all coordinates scales the code by 8 (3-D self-similarity)."""
+    ix = np.arange(1, 100)
+    code1 = morton_encode_3d(ix, ix, ix)
+    code2 = morton_encode_3d(2 * ix, 2 * ix, 2 * ix)
+    np.testing.assert_array_equal(code2, 8 * code1)
+
+
+class TestMortonArgsort:
+    def test_is_permutation(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(size=(200, 3))
+        p = morton_argsort(pts)
+        assert sorted(p.tolist()) == list(range(200))
+
+    def test_empty(self):
+        assert morton_argsort(np.zeros((0, 3))).size == 0
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            morton_argsort(np.zeros((5, 4)))
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(size=(100, 2))
+        np.testing.assert_array_equal(morton_argsort(pts), morton_argsort(pts))
+
+    def test_improves_locality(self):
+        """Mean consecutive-point distance should shrink vs a shuffled order."""
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(size=(500, 3))
+        ordered = pts[morton_argsort(pts)]
+        d_ord = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+        d_rand = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert d_ord < 0.5 * d_rand
+
+    def test_single_point(self):
+        assert morton_argsort(np.array([[0.5, 0.5, 0.5]])).tolist() == [0]
+
+    def test_degenerate_identical_points(self):
+        pts = np.ones((10, 3)) * 0.3
+        p = morton_argsort(pts)
+        # Stable sort keeps original order on ties.
+        assert p.tolist() == list(range(10))

@@ -1,0 +1,88 @@
+"""Unit tests for mixed-precision storage (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule, st_3d_exp_problem
+from repro.core import tlr_cholesky
+from repro.linalg import DenseTile, LowRankTile
+from repro.linalg.precision import demote_matrix, quantize_tile
+from repro.matrix import BandTLRMatrix
+from repro.utils import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return st_3d_exp_problem(729, 81, seed=15, nugget=1e-2)
+
+
+class TestQuantizeTile:
+    def test_dense_roundoff_bounded(self):
+        rng = np.random.default_rng(0)
+        t = DenseTile(rng.standard_normal((20, 20)))
+        q = quantize_tile(t, np.float32)
+        err = np.abs(q.data - t.data).max() / np.abs(t.data).max()
+        assert 0 < err < 1e-6
+
+    def test_lowrank_factors_quantized(self):
+        rng = np.random.default_rng(1)
+        t = LowRankTile(rng.standard_normal((10, 3)), rng.standard_normal((10, 3)))
+        q = quantize_tile(t, np.float32)
+        assert q.rank == 3
+        assert not np.array_equal(q.u, t.u)
+        assert q.u.dtype == np.float64  # payload returned in working precision
+
+    def test_float16_coarser_than_float32(self):
+        rng = np.random.default_rng(2)
+        t = DenseTile(rng.standard_normal((30, 30)))
+        e32 = np.abs(quantize_tile(t, np.float32).data - t.data).max()
+        e16 = np.abs(quantize_tile(t, np.float16).data - t.data).max()
+        assert e16 > e32
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(ConfigurationError):
+            quantize_tile(DenseTile(np.eye(2)), np.int32)
+
+
+class TestDemoteMatrix:
+    def test_memory_halves_for_offband(self, problem):
+        m = BandTLRMatrix.from_problem(problem, TruncationRule(eps=1e-6), 1)
+        _, rep = demote_matrix(m, dtype=np.float32)
+        assert rep.demoted_tiles > 0
+        assert 1.0 < rep.saving_factor <= 2.0
+
+    def test_near_band_preserved_exactly(self, problem):
+        m = BandTLRMatrix.from_problem(problem, TruncationRule(eps=1e-6), 1)
+        demoted, _ = demote_matrix(m, dtype=np.float32, min_distance=3)
+        t_orig = m.tile(2, 0)
+        t_new = demoted.tile(2, 0)
+        np.testing.assert_array_equal(t_new.to_dense(), t_orig.to_dense())
+
+    def test_demotion_error_at_fp32_level(self, problem):
+        a = problem.dense()
+        m = BandTLRMatrix.from_problem(problem, TruncationRule(eps=1e-12), 1)
+        demoted, _ = demote_matrix(m, dtype=np.float32)
+        err = np.linalg.norm(demoted.to_dense() - a) / np.linalg.norm(a)
+        assert err < 1e-5  # fp32 storage noise, not catastrophic
+
+    def test_factorization_after_demotion(self, problem):
+        """ε=1e-6 compression + fp32 storage factorizes to ~ε accuracy."""
+        a = problem.dense()
+        m = BandTLRMatrix.from_problem(problem, TruncationRule(eps=1e-6), 1)
+        demoted, rep = demote_matrix(m, dtype=np.float32)
+        tlr_cholesky(demoted)
+        l = demoted.to_dense(lower_only=True)
+        err = np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+        assert err < 1e-4
+        assert rep.saving_factor > 1.2
+
+    def test_original_untouched(self, problem):
+        m = BandTLRMatrix.from_problem(problem, TruncationRule(eps=1e-6), 1)
+        before = m.to_dense()
+        demote_matrix(m, dtype=np.float16)
+        np.testing.assert_array_equal(m.to_dense(), before)
+
+    def test_rejects_bad_distance(self, problem):
+        m = BandTLRMatrix.from_problem(problem, TruncationRule(eps=1e-6), 1)
+        with pytest.raises(ConfigurationError):
+            demote_matrix(m, min_distance=0)

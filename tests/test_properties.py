@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on cross-cutting invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TruncationRule
+from repro.analysis import RankModel
+from repro.core import solve_spd, tlr_cholesky
+from repro.distribution import BandDistribution, ProcessGrid
+from repro.linalg import KernelClass
+from repro.matrix import BandTLRMatrix, TileDescriptor
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+from repro.runtime.graph import classify_gemm
+
+
+def _structured_spd(n, seed, decay=2.0):
+    """A synthetic SPD matrix with smoothly decaying off-diagonal blocks
+    (data-sparse like a covariance, cheap to build)."""
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(size=n))
+    a = np.exp(-np.abs(x[:, None] - x[None, :]) * decay)
+    return a + 1e-6 * np.eye(n)
+
+
+@given(
+    n=st.sampled_from([60, 96, 128]),
+    tile=st.sampled_from([16, 32]),
+    band=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_factorization_backward_error(n, tile, band, seed):
+    """Cholesky backward error tracks the truncation threshold for every
+    band width on structured SPD matrices."""
+    a = _structured_spd(n, seed)
+    m = BandTLRMatrix.from_dense(a, tile, TruncationRule(eps=1e-9), band)
+    tlr_cholesky(m)
+    l = m.to_dense(lower_only=True)
+    err = np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+    assert err < 1e-6
+
+
+@given(
+    n=st.sampled_from([60, 96]),
+    tile=st.sampled_from([16, 32]),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_solve_roundtrip(n, tile, seed):
+    """solve_spd inverts the factored operator within the accuracy."""
+    a = _structured_spd(n, seed)
+    m = BandTLRMatrix.from_dense(a, tile, TruncationRule(eps=1e-10), 1)
+    tlr_cholesky(m)
+    rng = np.random.default_rng(seed + 1)
+    x_true = rng.standard_normal(n)
+    x = solve_spd(m, a @ x_true)
+    assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-5
+
+
+@given(
+    nt=st.integers(2, 14),
+    band=st.integers(1, 6),
+    b=st.sampled_from([64, 128]),
+    k=st.integers(1, 32),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_graph_flops_conserved_under_expansion(nt, band, b, k):
+    """Recursive expansion preserves total flops and stays acyclic."""
+    g = build_cholesky_graph(nt, band, b, lambda i, j: k)
+    ge = build_cholesky_graph(nt, band, b, lambda i, j: k, recursive_split=2)
+    ge.validate()
+    assert abs(ge.total_flops() - g.total_flops()) <= 1e-6 * max(g.total_flops(), 1)
+    assert ge.critical_path_flops() <= g.critical_path_flops() + 1e-6
+
+
+@given(
+    nt=st.integers(2, 12),
+    band=st.integers(1, 5),
+    nodes=st.sampled_from([1, 2, 4, 6]),
+    cores=st.integers(1, 4),
+    k=st.integers(1, 24),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_simulation_conservation(nt, band, nodes, cores, k):
+    """Every simulated run completes all tasks, busy time equals the sum
+    of kernel durations, and occupancy stays within [0, 1]."""
+    g = build_cholesky_graph(nt, band, 64, lambda i, j: k)
+    machine = MachineSpec(nodes=nodes, cores_per_node=cores)
+    dist = BandDistribution(ProcessGrid.squarest(nodes), band_size=band)
+    res = simulate(g, dist, machine)
+    serial = sum(
+        machine.rates.seconds(t.kernel, t.flops, 64, k) for t in g.tasks.values()
+    )
+    np.testing.assert_allclose(res.busy.sum(), serial, rtol=1e-9)
+    # Makespan bounded by fully-serial compute plus every message's worst
+    # tree-stage cost (a very loose but always-valid upper bound).
+    depth = int(np.ceil(np.log2(nodes + 1)))
+    comm_bound = depth * (
+        res.comm.messages * machine.latency_s
+        + res.comm.bytes_sent / machine.bandwidth_Bps
+    )
+    assert res.makespan <= serial + comm_bound + 1e-9
+    assert np.all(res.occupancy <= 1.0 + 1e-12)
+    assert res.panel_done[-1] <= res.makespan + 1e-12
+
+
+@given(
+    m=st.integers(2, 40),
+    n=st.integers(1, 40),
+    kk=st.integers(0, 39),
+    band=st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_gemm_classification_consistent_with_formats(m, n, kk, band):
+    """classify_gemm always agrees with the band predicates of the three
+    tiles involved."""
+    # Build valid m > n > k.
+    k = min(kk, n - 1, m - 2) if n >= 2 and m >= 3 else -1
+    if k < 0 or not (m > n > k):
+        return
+    kind = classify_gemm(m, n, k, band)
+    c_dense = (m - n) < band
+    a_dense = (m - k) < band
+    b_dense = (n - k) < band
+    if kind is KernelClass.GEMM_DENSE:
+        assert c_dense and a_dense and b_dense
+    elif kind is KernelClass.GEMM_DENSE_LRD:
+        assert c_dense and (a_dense != b_dense)
+    elif kind is KernelClass.GEMM_DENSE_LRLR:
+        assert c_dense and not a_dense and not b_dense
+    elif kind is KernelClass.GEMM_LR_DENSE:
+        assert not c_dense and not a_dense and b_dense
+    else:
+        assert not c_dense and not a_dense and not b_dense
+
+
+@given(
+    nt=st.integers(1, 20),
+    band=st.integers(1, 8),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_band_counts_match_predicate(nt, band):
+    """count_on_band agrees with brute-force enumeration."""
+    desc = TileDescriptor(nt * 8, 8)
+    brute = sum(
+        1 for i in range(nt) for j in range(i + 1) if desc.on_band(i, j, band)
+    )
+    assert desc.count_on_band(band) == brute
+
+
+@given(
+    tile=st.sampled_from([64, 256, 1024]),
+    k1_frac=st.floats(0.05, 0.6),
+    alpha=st.floats(0.2, 1.5),
+    i=st.integers(1, 200),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_rank_model_bounds(tile, k1_frac, alpha, i):
+    """RankModel outputs always lie in [kmin, tile_size]."""
+    m = RankModel(tile_size=tile, k1=k1_frac * tile, alpha=alpha, kmin=4)
+    r = m.rank(i, 0)
+    rf = m.final(i, 0)
+    assert 4 <= r <= tile
+    assert 4 <= rf <= tile
+    assert rf >= r - 1  # growth model never shrinks below initial (rounding slack)

@@ -1,0 +1,91 @@
+"""Additional hypothesis property suites on runtime structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    BandDistribution,
+    OneDBlockCyclic,
+    ProcessGrid,
+    TwoDBlockCyclic,
+)
+from repro.runtime import build_cholesky_graph
+from repro.runtime.dataflow import classify_dataflow
+from repro.runtime.solve_graph import SolveKind, build_solve_graph
+
+
+@given(
+    nt=st.integers(2, 10),
+    band=st.integers(1, 4),
+    nprocs=st.integers(1, 9),
+    k=st.integers(1, 20),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_dataflow_totals_cover_edges(nt, band, nprocs, k):
+    """local + remote always equals the edge count, for any distribution."""
+    g = build_cholesky_graph(nt, band, 32, lambda i, j: k)
+    n_edges = sum(len(t.deps) for t in g.tasks.values())
+    for dist in (
+        TwoDBlockCyclic(ProcessGrid.squarest(nprocs)),
+        OneDBlockCyclic(nprocs, axis="row"),
+        BandDistribution(ProcessGrid.squarest(nprocs), band_size=band),
+    ):
+        bd = classify_dataflow(g, dist)
+        assert bd.local_total + bd.remote_total == n_edges
+        if nprocs == 1:
+            assert bd.remote_total == 0
+
+
+@given(
+    nt=st.integers(1, 12),
+    band=st.integers(1, 4),
+    k=st.integers(1, 30),
+    kind=st.sampled_from(list(SolveKind)),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_solve_graph_shape(nt, band, k, kind):
+    """Solve DAGs: task count n + n(n-1)/2, valid, critical path length
+    grows linearly in NT (latency-bound)."""
+    g = build_solve_graph(nt, band, 32, lambda i, j: k, kind=kind)
+    assert g.n_tasks == nt + nt * (nt - 1) // 2
+    g.validate()
+    # The sequential sweep forces at least NT tasks on the critical path.
+    order = g.topological_order()
+    assert len(order) == g.n_tasks
+
+
+@given(
+    nt=st.integers(2, 10),
+    band=st.integers(1, 5),
+    k1=st.integers(1, 64),
+    k2=st.integers(1, 64),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_graph_flops_monotone_in_ranks(nt, band, k1, k2):
+    """Pointwise-larger rank fields never decrease the graph's total cost."""
+    lo, hi = min(k1, k2), max(k1, k2)
+    g_lo = build_cholesky_graph(nt, band, 64, lambda i, j: lo)
+    g_hi = build_cholesky_graph(nt, band, 64, lambda i, j: hi)
+    assert g_hi.total_flops() >= g_lo.total_flops() - 1e-9
+
+
+@given(nt=st.integers(2, 8), seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_property_message_sizes_match_formats(nt, seed):
+    """Every edge payload is either b² (dense tile) or 2bk (compressed)."""
+    rng = np.random.default_rng(seed)
+    b, band = 32, 2
+    ranks = {}
+
+    def rank(i, j):
+        return ranks.setdefault((i, j), int(rng.integers(1, 16)))
+
+    g = build_cholesky_graph(nt, band, b, rank)
+    for t in g.tasks.values():
+        for e in t.deps:
+            i, j = e.tile
+            if i - j < band:
+                assert e.elements == b * b
+            else:
+                assert e.elements == 2 * b * rank(i, j)

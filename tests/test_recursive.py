@@ -1,0 +1,175 @@
+"""Unit tests for the recursive (nested) dense-kernel formulations."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.linalg import (
+    KernelClass,
+    execute_subtasks,
+    recursive_subtasks,
+    recursive_task_costs,
+    split_ranges,
+)
+from repro.linalg.flops import (
+    flops_gemm_dense,
+    flops_potrf_dense,
+    flops_syrk_dense,
+    flops_trsm_dense,
+)
+from repro.utils import ConfigurationError, NotPositiveDefiniteError
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(13)
+
+
+def spd(rng, n):
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestSplitRanges:
+    def test_even(self):
+        rs = split_ranges(12, 3)
+        assert [(s.start, s.stop) for s in rs] == [(0, 4), (4, 8), (8, 12)]
+
+    def test_uneven_covers_everything(self):
+        rs = split_ranges(10, 3)
+        assert rs[0].start == 0 and rs[-1].stop == 10
+        total = sum(s.stop - s.start for s in rs)
+        assert total == 10
+
+    def test_split_larger_than_b_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_ranges(2, 3)
+
+
+class TestRecursivePotrf:
+    @pytest.mark.parametrize("split", [1, 2, 3, 4])
+    def test_matches_lapack(self, rng, split):
+        c = spd(rng, 24)
+        ref = np.tril(sla.cholesky(c, lower=True))
+        work = c.copy()
+        execute_subtasks(recursive_subtasks(KernelClass.POTRF_DENSE, split, c=work))
+        np.testing.assert_allclose(work, ref, atol=1e-10)
+
+    def test_raises_on_indefinite(self, rng):
+        work = -np.eye(8)
+        with pytest.raises(NotPositiveDefiniteError):
+            execute_subtasks(
+                recursive_subtasks(KernelClass.POTRF_DENSE, 2, c=work)
+            )
+
+    def test_flops_sum_matches_whole_kernel(self):
+        for split in (2, 4):
+            costs = recursive_task_costs(KernelClass.POTRF_DENSE, 240, split)
+            assert sum(t.flops for t in costs) == pytest.approx(
+                flops_potrf_dense(240), rel=0.05
+            )
+
+
+class TestRecursiveTrsm:
+    @pytest.mark.parametrize("split", [1, 2, 3])
+    def test_matches_reference(self, rng, split):
+        l = np.tril(sla.cholesky(spd(rng, 18), lower=True))
+        c = rng.standard_normal((18, 18))
+        ref = sla.solve_triangular(l, c.T, lower=True).T
+        work = c.copy()
+        execute_subtasks(
+            recursive_subtasks(KernelClass.TRSM_DENSE, split, c=work, l_mat=l)
+        )
+        np.testing.assert_allclose(work, ref, atol=1e-9)
+
+    def test_requires_l_mat(self, rng):
+        with pytest.raises(ConfigurationError):
+            recursive_subtasks(KernelClass.TRSM_DENSE, 2, c=np.eye(8))
+
+
+class TestRecursiveSyrk:
+    @pytest.mark.parametrize("split", [1, 2, 3])
+    def test_matches_reference(self, rng, split):
+        a = rng.standard_normal((18, 18))
+        c0 = spd(rng, 18)
+        work = c0.copy()
+        execute_subtasks(
+            recursive_subtasks(KernelClass.SYRK_DENSE, split, c=work, a=a)
+        )
+        np.testing.assert_allclose(work, c0 - a @ a.T, atol=1e-9)
+
+    def test_result_symmetric(self, rng):
+        a = rng.standard_normal((12, 12))
+        work = spd(rng, 12)
+        execute_subtasks(
+            recursive_subtasks(KernelClass.SYRK_DENSE, 3, c=work, a=a)
+        )
+        np.testing.assert_allclose(work, work.T, atol=1e-12)
+
+
+class TestRecursiveGemm:
+    @pytest.mark.parametrize("split", [1, 2, 3])
+    def test_matches_reference(self, rng, split):
+        a, b = rng.standard_normal((15, 15)), rng.standard_normal((15, 15))
+        c0 = rng.standard_normal((15, 15))
+        work = c0.copy()
+        execute_subtasks(
+            recursive_subtasks(KernelClass.GEMM_DENSE, split, c=work, a=a, b=b)
+        )
+        np.testing.assert_allclose(work, c0 - a @ b.T, atol=1e-10)
+
+    def test_requires_operands(self):
+        with pytest.raises(ConfigurationError):
+            recursive_subtasks(KernelClass.GEMM_DENSE, 2, c=np.eye(8))
+
+
+class TestCostGraphs:
+    def test_lr_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            recursive_task_costs(KernelClass.GEMM_LR, 64, 2)
+
+    @pytest.mark.parametrize(
+        "kind,total",
+        [
+            (KernelClass.TRSM_DENSE, flops_trsm_dense(120)),
+            (KernelClass.SYRK_DENSE, flops_syrk_dense(120)),
+            (KernelClass.GEMM_DENSE, flops_gemm_dense(120)),
+        ],
+    )
+    def test_flop_conservation(self, kind, total):
+        costs = recursive_task_costs(kind, 120, 3)
+        assert sum(t.flops for t in costs) == pytest.approx(total, rel=0.05)
+
+    def test_deps_are_topological(self):
+        """Dependencies always point to earlier tasks (valid emission order)."""
+        for kind in (
+            KernelClass.POTRF_DENSE,
+            KernelClass.TRSM_DENSE,
+            KernelClass.SYRK_DENSE,
+            KernelClass.GEMM_DENSE,
+        ):
+            costs = recursive_task_costs(kind, 64, 4)
+            for idx, t in enumerate(costs):
+                assert all(d < idx for d in t.deps)
+
+    def test_expansion_counts(self):
+        # split-2 POTRF: POTRF(0), TRSM(1,0), SYRK(1,0), POTRF(1).
+        costs = recursive_task_costs(KernelClass.POTRF_DENSE, 64, 2)
+        assert len(costs) == 4
+        # split-2 GEMM: 2x2 output sub-tiles x 2 k-steps.
+        costs3 = recursive_task_costs(KernelClass.GEMM_DENSE, 64, 2)
+        assert len(costs3) == 8
+
+    def test_more_splits_more_parallelism(self):
+        """Critical path (in flops) shrinks with the split factor."""
+
+        def cp(costs):
+            dist = [0.0] * len(costs)
+            for i, t in enumerate(costs):
+                start = max((dist[d] for d in t.deps), default=0.0)
+                dist[i] = start + t.flops
+            return max(dist, default=0.0)
+
+        c2 = recursive_task_costs(KernelClass.POTRF_DENSE, 240, 2)
+        c4 = recursive_task_costs(KernelClass.POTRF_DENSE, 240, 4)
+        assert cp(c4) < cp(c2) < flops_potrf_dense(240) * 1.01

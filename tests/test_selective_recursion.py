@@ -1,0 +1,73 @@
+"""Tests for selective recursive expansion (Prev recursed POTRF only)."""
+
+import pytest
+
+from repro.linalg import KernelClass
+from repro.runtime import build_cholesky_graph
+from repro.runtime.task import TaskKind
+
+RANK = lambda i, j: 12
+
+
+class TestSelectiveExpansion:
+    def test_potrf_only_expansion(self):
+        g = build_cholesky_graph(
+            6, 3, 64, RANK, recursive_split=2,
+            recursive_kernels={KernelClass.POTRF_DENSE},
+        )
+        # POTRF joins keep original ids with zero flops; TRSM/SYRK/GEMM
+        # band tasks stay whole (positive flops on the original id).
+        assert g.tasks[(TaskKind.POTRF, 0)].flops == 0.0
+        assert g.tasks[(TaskKind.TRSM, 1, 0)].flops > 0.0
+        assert g.tasks[(TaskKind.SYRK, 1, 0)].flops > 0.0
+
+    def test_task_count_ordering(self):
+        kwargs = dict(recursive_split=2)
+        g0 = build_cholesky_graph(6, 3, 64, RANK)
+        gp = build_cholesky_graph(
+            6, 3, 64, RANK, recursive_kernels={KernelClass.POTRF_DENSE}, **kwargs
+        )
+        ga = build_cholesky_graph(6, 3, 64, RANK, **kwargs)
+        assert g0.n_tasks < gp.n_tasks < ga.n_tasks
+
+    def test_flops_conserved_selective(self):
+        # Even split: sub-tile costs are exact.
+        g0 = build_cholesky_graph(6, 3, 64, RANK)
+        gp = build_cholesky_graph(
+            6, 3, 64, RANK, recursive_split=2,
+            recursive_kernels={KernelClass.POTRF_DENSE, KernelClass.TRSM_DENSE},
+        )
+        assert gp.total_flops() == pytest.approx(g0.total_flops())
+        gp.validate()
+
+    def test_flops_near_conserved_uneven_split(self):
+        """Uneven splits use max()-based sub-tile costs: a small documented
+        overcount, bounded here at 2%."""
+        g0 = build_cholesky_graph(6, 3, 64, RANK)
+        gp = build_cholesky_graph(
+            6, 3, 64, RANK, recursive_split=3,
+            recursive_kernels={KernelClass.POTRF_DENSE, KernelClass.TRSM_DENSE},
+        )
+        assert gp.total_flops() == pytest.approx(g0.total_flops(), rel=0.02)
+
+    def test_critical_path_monotone_in_expansion_scope(self):
+        """Expanding more kernel classes never lengthens the critical path."""
+        g0 = build_cholesky_graph(8, 4, 64, RANK)
+        gp = build_cholesky_graph(
+            8, 4, 64, RANK, recursive_split=2,
+            recursive_kernels={KernelClass.POTRF_DENSE},
+        )
+        ga = build_cholesky_graph(8, 4, 64, RANK, recursive_split=2)
+        assert (
+            ga.critical_path_flops()
+            <= gp.critical_path_flops() + 1e-6
+        )
+        assert gp.critical_path_flops() <= g0.critical_path_flops() + 1e-6
+
+    def test_empty_kernel_set_expands_nothing(self):
+        g0 = build_cholesky_graph(5, 2, 64, RANK)
+        ge = build_cholesky_graph(
+            5, 2, 64, RANK, recursive_split=2, recursive_kernels=set()
+        )
+        assert ge.n_tasks == g0.n_tasks
+        assert ge.critical_path_flops() == pytest.approx(g0.critical_path_flops())

@@ -1,0 +1,72 @@
+"""Unit tests for the triangular-solve task graphs."""
+
+import pytest
+
+from repro.distribution import BandDistribution, ProcessGrid
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+from repro.runtime.solve_graph import SolveKind, build_solve_graph
+from repro.runtime.task import TaskKind
+
+RANK = lambda i, j: 12
+
+
+class TestStructure:
+    def test_task_count(self):
+        nt = 6
+        g = build_solve_graph(nt, 2, 64, RANK)
+        # nt diagonal solves + nt(nt-1)/2 updates.
+        assert g.n_tasks == nt + nt * (nt - 1) // 2
+
+    def test_valid_dag(self):
+        build_solve_graph(8, 3, 64, RANK).validate()
+        build_solve_graph(8, 3, 64, RANK, kind=SolveKind.BACKWARD).validate()
+
+    def test_forward_order(self):
+        g = build_solve_graph(4, 1, 64, RANK)
+        order = g.topological_order()
+        solve_pos = {tid[2]: i for i, tid in enumerate(order)
+                     if tid[0] is TaskKind.TRSM}
+        assert solve_pos[0] < solve_pos[1] < solve_pos[2] < solve_pos[3]
+
+    def test_backward_order(self):
+        g = build_solve_graph(4, 1, 64, RANK, kind=SolveKind.BACKWARD)
+        order = g.topological_order()
+        solve_pos = {tid[2]: i for i, tid in enumerate(order)
+                     if tid[0] is TaskKind.TRSM}
+        assert solve_pos[3] < solve_pos[2] < solve_pos[1] < solve_pos[0]
+
+    def test_update_depends_on_source_solve(self):
+        g = build_solve_graph(4, 1, 64, RANK)
+        upd = g.tasks[(TaskKind.GEMM, "solve", 2, 0)]
+        assert any(e.src == (TaskKind.TRSM, "solve", 0) for e in upd.deps)
+
+    def test_rmw_chain_within_block(self):
+        g = build_solve_graph(5, 1, 64, RANK)
+        upd = g.tasks[(TaskKind.GEMM, "solve", 4, 1)]
+        assert any(e.src == (TaskKind.GEMM, "solve", 4, 0) for e in upd.deps)
+
+
+class TestSimulation:
+    def test_simulates_on_band_distribution(self):
+        g = build_solve_graph(12, 2, 512, RANK)
+        res = simulate(
+            g,
+            BandDistribution(ProcessGrid.squarest(4), band_size=2),
+            MachineSpec(nodes=4, cores_per_node=4),
+        )
+        assert res.makespan > 0
+
+    def test_latency_bound_critical_path(self):
+        """Solves barely speed up with more cores — the RMW chain through
+        each vector block serializes the sweep (unlike the factorization)."""
+        g = build_solve_graph(16, 1, 512, RANK)
+        d = BandDistribution(ProcessGrid.squarest(1), band_size=1)
+        t1 = simulate(g, d, MachineSpec(nodes=1, cores_per_node=1)).makespan
+        t8 = simulate(g, d, MachineSpec(nodes=1, cores_per_node=8)).makespan
+        assert t8 > 0.4 * t1  # poor scaling is the *expected* physics
+
+    def test_solve_much_cheaper_than_factorization(self):
+        nt, b = 16, 512
+        gs = build_solve_graph(nt, 2, b, RANK)
+        gf = build_cholesky_graph(nt, 2, b, RANK)
+        assert gs.total_flops() < 0.02 * gf.total_flops()

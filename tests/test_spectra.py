@@ -1,0 +1,68 @@
+"""Unit tests for multi-threshold rank analysis (one-SVD-pass spectra)."""
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule, st_3d_exp_problem
+from repro.matrix import BandTLRMatrix
+from repro.statistics import (
+    rank_grids_for_thresholds,
+    subdiagonal_singular_values,
+)
+from repro.utils import ProblemError
+
+
+@pytest.fixture(scope="module")
+def spectra_problem():
+    return st_3d_exp_problem(384, 64, seed=5)
+
+
+class TestSubdiagonalSingularValues:
+    def test_covers_lower_offdiagonal(self, spectra_problem):
+        s = subdiagonal_singular_values(spectra_problem)
+        nt = spectra_problem.ntiles
+        assert len(s) == nt * (nt - 1) // 2
+        assert all(i > j for (i, j) in s)
+
+    def test_values_descending(self, spectra_problem):
+        s = subdiagonal_singular_values(spectra_problem)
+        for vals in s.values():
+            assert np.all(np.diff(vals) <= 1e-12)
+
+    def test_max_subdiagonal_limits(self, spectra_problem):
+        s = subdiagonal_singular_values(spectra_problem, max_subdiagonal=2)
+        assert all(i - j <= 2 for (i, j) in s)
+
+    def test_single_tile_rejected(self):
+        prob = st_3d_exp_problem(64, 64, seed=0)
+        with pytest.raises(ProblemError):
+            subdiagonal_singular_values(prob)
+
+
+class TestRankGridsForThresholds:
+    def test_matches_direct_compression(self, spectra_problem):
+        """The derived grid equals the grid from actually compressing."""
+        eps = 1e-6
+        grids = rank_grids_for_thresholds(spectra_problem, [eps])
+        m = BandTLRMatrix.from_problem(
+            spectra_problem, TruncationRule(eps=eps), band_size=1
+        )
+        np.testing.assert_array_equal(grids[eps], m.rank_grid())
+
+    def test_monotone_in_threshold(self, spectra_problem):
+        """Looser thresholds never increase any tile's rank."""
+        grids = rank_grids_for_thresholds(spectra_problem, [1e-8, 1e-4, 1e-2])
+        g_tight, g_mid, g_loose = grids[1e-8], grids[1e-4], grids[1e-2]
+        mask = g_tight >= 0
+        assert np.all(g_tight[mask] >= g_mid[mask])
+        assert np.all(g_mid[mask] >= g_loose[mask])
+
+    def test_diagonal_marked_dense(self, spectra_problem):
+        grids = rank_grids_for_thresholds(spectra_problem, [1e-6])
+        g = grids[1e-6]
+        assert np.all(np.diag(g) == -1)
+        assert np.all(g[np.triu_indices_from(g, 1)] == -1)
+
+    def test_one_svd_pass_serves_all(self, spectra_problem):
+        grids = rank_grids_for_thresholds(spectra_problem, [1e-10, 1e-6, 1e-2])
+        assert set(grids) == {1e-10, 1e-6, 1e-2}

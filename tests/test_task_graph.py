@@ -1,0 +1,189 @@
+"""Unit tests for the Cholesky PTG unfolding and recursive expansion."""
+
+import pytest
+
+from repro.linalg import KernelClass
+from repro.linalg.flops import (
+    flops_gemm_dense,
+    flops_potrf_dense,
+    flops_syrk_dense,
+    flops_trsm_dense,
+)
+from repro.runtime import TaskKind, build_cholesky_graph, classify_gemm
+from repro.runtime.task import task_sort_key
+from repro.utils import ConfigurationError, SchedulingError
+
+RANK = lambda i, j: 16
+
+
+class TestGraphShape:
+    def test_task_count(self):
+        nt = 6
+        g = build_cholesky_graph(nt, 1, 64, RANK)
+        expected = sum(
+            1 + 2 * (nt - k - 1) + (nt - k - 1) * (nt - k - 2) // 2
+            for k in range(nt)
+        )
+        assert g.n_tasks == expected
+
+    def test_single_tile(self):
+        g = build_cholesky_graph(1, 1, 64, RANK)
+        assert g.n_tasks == 1
+        assert list(g.tasks)[0][0] is TaskKind.POTRF
+
+    def test_validate_passes(self):
+        build_cholesky_graph(8, 3, 64, RANK).validate()
+
+    def test_topological_order_complete(self):
+        g = build_cholesky_graph(5, 2, 64, RANK)
+        order = g.topological_order()
+        assert len(order) == g.n_tasks
+        pos = {tid: i for i, tid in enumerate(order)}
+        for tid, t in g.tasks.items():
+            for e in t.deps:
+                assert pos[e.src] < pos[tid]
+
+    def test_first_task_is_potrf0(self):
+        g = build_cholesky_graph(5, 1, 64, RANK)
+        assert g.topological_order()[0] == (TaskKind.POTRF, 0)
+
+    def test_rejects_bad_recursive_split(self):
+        with pytest.raises(ConfigurationError):
+            build_cholesky_graph(4, 1, 64, RANK, recursive_split=1)
+
+    def test_duplicate_task_rejected(self):
+        g = build_cholesky_graph(2, 1, 64, RANK)
+        from repro.runtime.task import Task
+
+        with pytest.raises(SchedulingError):
+            g.add_task(
+                Task(
+                    tid=(TaskKind.POTRF, 0),
+                    kind=TaskKind.POTRF,
+                    kernel=KernelClass.POTRF_DENSE,
+                    flops=1.0,
+                    out_tile=(0, 0),
+                )
+            )
+
+
+class TestKernelClassification:
+    def test_pure_tlr_band1(self):
+        g = build_cholesky_graph(6, 1, 64, RANK)
+        kinds = {t.kernel for t in g.tasks.values()}
+        assert kinds == {
+            KernelClass.POTRF_DENSE,
+            KernelClass.TRSM_LR,
+            KernelClass.SYRK_LR,
+            KernelClass.GEMM_LR,
+        }
+
+    def test_fully_dense_when_band_ge_nt(self):
+        g = build_cholesky_graph(6, 6, 64, RANK)
+        kinds = {t.kernel for t in g.tasks.values()}
+        assert kinds == {
+            KernelClass.POTRF_DENSE,
+            KernelClass.TRSM_DENSE,
+            KernelClass.SYRK_DENSE,
+            KernelClass.GEMM_DENSE,
+        }
+
+    def test_band3_mixes_all_ten(self):
+        g = build_cholesky_graph(12, 3, 64, RANK)
+        kinds = {t.kernel for t in g.tasks.values()}
+        assert len(kinds) == 10
+
+    @pytest.mark.parametrize(
+        "m,n,k,band,expected",
+        [
+            (2, 1, 0, 3, KernelClass.GEMM_DENSE),
+            (3, 1, 0, 3, KernelClass.GEMM_DENSE_LRD),
+            (4, 3, 0, 3, KernelClass.GEMM_DENSE_LRLR),
+            (5, 1, 0, 3, KernelClass.GEMM_LR_DENSE),
+            (8, 5, 0, 3, KernelClass.GEMM_LR),
+        ],
+    )
+    def test_classify_gemm(self, m, n, k, band, expected):
+        assert classify_gemm(m, n, k, band) is expected
+
+    def test_classify_rejects_bad_indices(self):
+        with pytest.raises(ConfigurationError):
+            classify_gemm(1, 1, 0, 2)
+
+
+class TestFlops:
+    def test_dense_graph_total_close_to_n3_over_3(self):
+        nt, b = 10, 64
+        g = build_cholesky_graph(nt, nt, b, RANK)
+        n = nt * b
+        # Tiled dense Cholesky models n^3/3 leading order.
+        assert g.total_flops() == pytest.approx(n**3 / 3, rel=0.05)
+
+    def test_band1_cheaper_than_dense(self):
+        g_tlr = build_cholesky_graph(12, 1, 256, lambda i, j: 8)
+        g_dense = build_cholesky_graph(12, 12, 256, lambda i, j: 8)
+        assert g_tlr.total_flops() < 0.2 * g_dense.total_flops()
+
+    def test_rank_fn_drives_costs(self):
+        g_low = build_cholesky_graph(8, 1, 256, lambda i, j: 4)
+        g_high = build_cholesky_graph(8, 1, 256, lambda i, j: 64)
+        assert g_high.total_flops() > g_low.total_flops()
+
+
+class TestRecursiveExpansion:
+    def test_flop_conservation(self):
+        g = build_cholesky_graph(6, 2, 64, RANK)
+        ge = build_cholesky_graph(6, 2, 64, RANK, recursive_split=2)
+        assert ge.total_flops() == pytest.approx(g.total_flops(), rel=1e-9)
+
+    def test_critical_path_shrinks(self):
+        g = build_cholesky_graph(8, 3, 64, RANK)
+        ge = build_cholesky_graph(8, 3, 64, RANK, recursive_split=2)
+        assert ge.critical_path_flops() < g.critical_path_flops()
+
+    def test_expanded_graph_is_valid(self):
+        build_cholesky_graph(6, 2, 64, RANK, recursive_split=3).validate()
+
+    def test_join_keeps_original_id(self):
+        ge = build_cholesky_graph(4, 2, 64, RANK, recursive_split=2)
+        assert (TaskKind.POTRF, 0) in ge.tasks
+        assert ge.tasks[(TaskKind.POTRF, 0)].flops == 0.0  # join node
+
+    def test_lr_tasks_not_expanded(self):
+        ge = build_cholesky_graph(6, 1, 64, RANK, recursive_split=2)
+        # band=1: only POTRFs are region (1); everything else unexpanded.
+        trsm = ge.tasks[(TaskKind.TRSM, 3, 0)]
+        assert trsm.flops > 0
+
+
+class TestEdgeMetadata:
+    def test_diagonal_edges_are_dense_sized(self):
+        g = build_cholesky_graph(4, 1, 64, RANK)
+        trsm = g.tasks[(TaskKind.TRSM, 2, 0)]
+        potrf_edge = [e for e in trsm.deps if e.src == (TaskKind.POTRF, 0)][0]
+        assert potrf_edge.elements == 64 * 64
+
+    def test_offband_edges_are_compressed_sized(self):
+        g = build_cholesky_graph(6, 1, 64, RANK)
+        gemm = g.tasks[(TaskKind.GEMM, 4, 2, 0)]
+        trsm_edge = [e for e in gemm.deps if e.src == (TaskKind.TRSM, 4, 0)][0]
+        assert trsm_edge.elements == 2 * 64 * 16
+
+    def test_gemm_chain_edge(self):
+        g = build_cholesky_graph(6, 1, 64, RANK)
+        gemm1 = g.tasks[(TaskKind.GEMM, 4, 2, 1)]
+        assert any(e.src == (TaskKind.GEMM, 4, 2, 0) for e in gemm1.deps)
+
+
+class TestPriorities:
+    def test_panel_order_dominates(self):
+        g = build_cholesky_graph(6, 1, 64, RANK)
+        k0 = task_sort_key(g.tasks[(TaskKind.GEMM, 5, 4, 0)])
+        k1 = task_sort_key(g.tasks[(TaskKind.POTRF, 1)])
+        assert k0 < k1
+
+    def test_potrf_before_gemm_same_panel(self):
+        g = build_cholesky_graph(6, 1, 64, RANK)
+        kp = task_sort_key(g.tasks[(TaskKind.POTRF, 1)])
+        kg = task_sort_key(g.tasks[(TaskKind.GEMM, 5, 4, 1)])
+        assert kp < kg

@@ -1,0 +1,69 @@
+"""Unit tests for tile-size selection."""
+
+import pytest
+
+from repro.core import candidate_tile_sizes, local_minimum_search, suggest_tile_size
+from repro.utils import ConfigurationError
+
+
+class TestSuggestTileSize:
+    def test_paper_examples(self):
+        """The paper's estimates: ~1039 for N=1.08M, ~1469 for N=2.16M."""
+        assert suggest_tile_size(1_080_000) == pytest.approx(1039, abs=2)
+        assert suggest_tile_size(2_160_000) == pytest.approx(1470, abs=2)
+
+    def test_coefficient(self):
+        assert suggest_tile_size(10_000, coefficient=2.0) == 200
+
+    def test_multiple_of(self):
+        b = suggest_tile_size(1_080_000, multiple_of=64)
+        assert b % 64 == 0
+
+    def test_minimum_clamp(self):
+        assert suggest_tile_size(100, minimum=64) == 64
+
+    def test_never_exceeds_n(self):
+        assert suggest_tile_size(40, minimum=64) == 40
+
+
+class TestCandidates:
+    def test_centred_on_suggestion(self):
+        cands = candidate_tile_sizes(1_000_000, count=5)
+        assert suggest_tile_size(1_000_000) in cands
+        assert cands == sorted(cands)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            candidate_tile_sizes(1000, step=1.0)
+
+    def test_clamped_to_n(self):
+        assert max(candidate_tile_sizes(100, count=7)) <= 100
+
+
+class TestLocalMinimumSearch:
+    def test_finds_minimum_of_convex(self):
+        best, evals = local_minimum_search(
+            [100, 200, 300, 400, 500], lambda b: (b - 300) ** 2
+        )
+        assert best == 300
+
+    def test_stops_after_trend_change(self):
+        calls = []
+
+        def f(b):
+            calls.append(b)
+            return (b - 200) ** 2
+
+        best, _ = local_minimum_search([100, 200, 300, 400, 500, 600], f)
+        assert best == 200
+        # Stops after two consecutive worse evaluations (400, 500).
+        assert calls == [100, 200, 300, 400]
+
+    def test_monotone_decreasing_runs_to_end(self):
+        best, evals = local_minimum_search([1, 2, 3], lambda b: -b)
+        assert best == 3
+        assert len(evals) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            local_minimum_search([], lambda b: b)

@@ -1,0 +1,138 @@
+"""Unit tests for the BandTLRMatrix container."""
+
+import numpy as np
+import pytest
+
+from repro import TruncationRule
+from repro.linalg import DenseTile, LowRankTile
+from repro.matrix import BandTLRMatrix
+from repro.utils import ConfigurationError
+
+
+class TestConstruction:
+    def test_band1_layout(self, small_problem, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=1)
+        assert m.is_dense(0, 0)
+        assert not m.is_dense(1, 0)
+        assert not m.is_dense(7, 0)
+
+    def test_band3_layout(self, small_problem, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=3)
+        assert m.is_dense(2, 0)
+        assert not m.is_dense(3, 0)
+
+    def test_full_dense_layout(self, small_problem, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=8)
+        assert all(m.is_dense(i, j) for (i, j) in m.desc.lower_tiles())
+
+    def test_reconstruction_error_within_eps(self, small_problem, small_dense, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=1)
+        assert m.compression_error(small_dense) < 1e-6
+
+    def test_from_dense_equivalent(self, small_problem, small_dense, rule8):
+        m1 = BandTLRMatrix.from_problem(small_problem, rule8, band_size=2)
+        m2 = BandTLRMatrix.from_dense(small_dense, 64, rule8, band_size=2)
+        np.testing.assert_allclose(m1.to_dense(), m2.to_dense(), atol=1e-9)
+
+    def test_from_dense_rejects_rectangular(self, rule8):
+        with pytest.raises(ConfigurationError):
+            BandTLRMatrix.from_dense(np.zeros((4, 6)), 2, rule8)
+
+
+class TestAccess:
+    def test_upper_triangle_rejected(self, small_tlr):
+        with pytest.raises(ConfigurationError):
+            small_tlr.tile(0, 1)
+
+    def test_set_tile_shape_checked(self, small_tlr):
+        with pytest.raises(ConfigurationError):
+            small_tlr.set_tile(1, 0, DenseTile(np.zeros((3, 3))))
+
+    def test_set_and_get(self, small_tlr):
+        t = DenseTile(np.ones((64, 64)))
+        small_tlr.set_tile(3, 1, t)
+        assert small_tlr.tile(3, 1) is t
+
+
+class TestRankReporting:
+    def test_rank_grid_marks_dense(self, small_problem, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=2)
+        g = m.rank_grid()
+        assert g[0, 0] == -1  # diagonal dense
+        assert g[1, 0] == -1  # on band
+        assert g[2, 0] >= 0  # compressed
+
+    def test_rank_grid_upper_is_minus_one(self, small_tlr):
+        g = small_tlr.rank_grid()
+        assert np.all(g[np.triu_indices_from(g, 1)] == -1)
+
+    def test_rank_stats(self, small_tlr):
+        mn, avg, mx = small_tlr.rank_stats()
+        assert 0 < mn <= avg <= mx <= 64
+
+    def test_rank_stats_dense_matrix(self, small_problem, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=8)
+        assert m.rank_stats() == (0, 0.0, 0)
+
+
+class TestMemoryAccounting:
+    def test_dense_band_counts_full_tiles(self, small_problem, rule8):
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=8)
+        assert m.memory_elements() == 36 * 64 * 64
+
+    def test_static_vs_dynamic(self, small_tlr):
+        dyn = small_tlr.memory_elements()
+        stat = small_tlr.memory_elements(static_maxrank=32)
+        # Static accounts every compressed tile at 2*b*32.
+        n_lr = sum(
+            1 for t in small_tlr.tiles.values() if isinstance(t, LowRankTile)
+        )
+        assert stat == 8 * 64 * 64 + n_lr * 2 * 64 * 32
+        assert dyn != stat
+
+
+class TestBandRegeneration:
+    def test_widening_band_densifies(self, small_problem, rule8):
+        m1 = BandTLRMatrix.from_problem(small_problem, rule8, band_size=1)
+        m3 = m1.with_band_size(3, small_problem)
+        assert m3.band_size == 3
+        assert m3.is_dense(2, 0)
+        assert not m3.is_dense(3, 0)
+
+    def test_widening_preserves_matrix(self, small_problem, small_dense, rule8):
+        m1 = BandTLRMatrix.from_problem(small_problem, rule8, band_size=1)
+        m3 = m1.with_band_size(3, small_problem)
+        assert m3.compression_error(small_dense) < 1e-6
+
+    def test_off_band_tiles_shared_not_copied(self, small_problem, rule8):
+        m1 = BandTLRMatrix.from_problem(small_problem, rule8, band_size=1)
+        m3 = m1.with_band_size(3, small_problem)
+        assert m3.tile(7, 0) is m1.tile(7, 0)
+
+    def test_narrowing_band_compresses(self, small_problem, rule8):
+        m3 = BandTLRMatrix.from_problem(small_problem, rule8, band_size=3)
+        m1 = m3.with_band_size(1, small_problem)
+        assert not m1.is_dense(1, 0)
+
+    def test_geometry_mismatch_rejected(self, small_problem, rule8):
+        from repro import st_3d_exp_problem
+
+        other = st_3d_exp_problem(256, 64, seed=0)
+        m = BandTLRMatrix.from_problem(small_problem, rule8, band_size=1)
+        with pytest.raises(ConfigurationError):
+            m.with_band_size(2, other)
+
+
+class TestConversion:
+    def test_to_dense_symmetric(self, small_tlr):
+        a = small_tlr.to_dense()
+        np.testing.assert_allclose(a, a.T, atol=1e-12)
+
+    def test_lower_only(self, small_tlr):
+        a = small_tlr.to_dense(lower_only=True)
+        assert np.all(np.triu(a, 64) == 0.0)
+
+    def test_copy_independent(self, small_tlr):
+        c = small_tlr.copy()
+        c.tile(0, 0).data[0, 0] = 99.0
+        assert small_tlr.tile(0, 0).data[0, 0] != 99.0

@@ -1,0 +1,96 @@
+"""Unit tests for timing utilities and the exception hierarchy."""
+
+import time
+
+import pytest
+
+from repro.utils import (
+    CompressionError,
+    ConfigurationError,
+    DistributionError,
+    KernelError,
+    MemoryPoolError,
+    NotPositiveDefiniteError,
+    ProblemError,
+    ReproError,
+    RuntimeSystemError,
+    SchedulingError,
+    Stopwatch,
+    Timer,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            ProblemError,
+            CompressionError,
+            KernelError,
+            DistributionError,
+            RuntimeSystemError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_not_positive_definite_is_kernel_error(self):
+        assert issubclass(NotPositiveDefiniteError, KernelError)
+
+    def test_scheduling_is_runtime_error(self):
+        assert issubclass(SchedulingError, RuntimeSystemError)
+
+    def test_memory_pool_is_runtime_error(self):
+        assert issubclass(MemoryPoolError, RuntimeSystemError)
+
+    def test_not_positive_definite_carries_tile_index(self):
+        e = NotPositiveDefiniteError("boom", tile_index=(3, 3))
+        assert e.tile_index == (3, 3)
+
+    def test_tile_index_defaults_to_none(self):
+        assert NotPositiveDefiniteError("boom").tile_index is None
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.measure("a"):
+                pass
+        assert sw.counts["a"] == 3
+        assert sw.total("a") >= 0.0
+
+    def test_mean(self):
+        sw = Stopwatch()
+        with sw.measure("x"):
+            time.sleep(0.005)
+        assert sw.mean("x") == pytest.approx(sw.total("x"))
+
+    def test_unknown_phase_is_zero(self):
+        sw = Stopwatch()
+        assert sw.total("nope") == 0.0
+        assert sw.mean("nope") == 0.0
+
+    def test_accumulates_on_exception(self):
+        sw = Stopwatch()
+        with pytest.raises(ValueError):
+            with sw.measure("bad"):
+                raise ValueError
+        assert sw.counts["bad"] == 1
+
+    def test_report_contains_phases(self):
+        sw = Stopwatch()
+        with sw.measure("phase_a"):
+            pass
+        assert "phase_a" in sw.report()

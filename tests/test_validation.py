@@ -1,0 +1,129 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ConfigurationError,
+    check_in,
+    check_index,
+    check_matrix,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_square_matrix,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("x", 3) == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int("x", np.int64(5)) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="x must be >= 1"):
+            check_positive_int("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("x", -2)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            check_positive_int("x", 2.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("x", "3")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_nonnegative_int("x", -1)
+
+
+class TestCheckPositiveFloat:
+    def test_accepts_float(self):
+        assert check_positive_float("x", 0.5) == 0.5
+
+    def test_accepts_int(self):
+        assert check_positive_float("x", 2) == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_float("x", 0.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_float("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_float("x", float("inf"))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_float("x", "abc")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, v):
+        assert check_probability("p", v) == v
+
+    @pytest.mark.parametrize("v", [-0.1, 1.1])
+    def test_rejects_outside(self, v):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", v)
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigurationError, match="must be one of"):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestCheckMatrix:
+    def test_coerces_nested_list(self):
+        m = check_matrix("m", [[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+        assert m.dtype == np.float64
+        assert m.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError, match="must be 2-D"):
+            check_matrix("m", [1, 2, 3])
+
+    def test_square_rejects_rectangular(self):
+        with pytest.raises(ConfigurationError, match="must be square"):
+            check_square_matrix("m", np.zeros((2, 3)))
+
+    def test_square_accepts(self):
+        assert check_square_matrix("m", np.eye(3)).shape == (3, 3)
+
+
+class TestCheckIndex:
+    def test_accepts_in_range(self):
+        assert check_index("i", 2, 5) == 2
+
+    def test_rejects_at_upper(self):
+        with pytest.raises(ConfigurationError):
+            check_index("i", 5, 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_index("i", -1, 5)

@@ -1,0 +1,66 @@
+"""Unit tests for the simulator's work-stealing mode (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import OneDBlockCyclic, ProcessGrid, TwoDBlockCyclic
+from repro.runtime import MachineSpec, build_cholesky_graph, simulate
+
+RANK = lambda i, j: max(8, 100 // (i - j))
+
+
+@pytest.fixture(scope="module")
+def imbalanced():
+    """A workload on a deliberately imbalanced (row 1DBCDD) distribution."""
+    g = build_cholesky_graph(24, 3, 512, RANK)
+    m = MachineSpec(nodes=6, cores_per_node=4)
+    d = OneDBlockCyclic(6, axis="row")
+    return g, m, d
+
+
+class TestWorkStealing:
+    def test_all_tasks_complete(self, imbalanced):
+        g, m, d = imbalanced
+        res = simulate(g, d, m, work_stealing=True)
+        assert res.total_flops == pytest.approx(g.total_flops())
+
+    def test_work_conserved(self, imbalanced):
+        """Stealing moves work; it never duplicates or loses it."""
+        g, m, d = imbalanced
+        r0 = simulate(g, d, m)
+        r1 = simulate(g, d, m, work_stealing=True)
+        assert r1.busy.sum() == pytest.approx(r0.busy.sum())
+
+    def test_helps_imbalanced_distribution(self, imbalanced):
+        g, m, d = imbalanced
+        r0 = simulate(g, d, m)
+        r1 = simulate(g, d, m, work_stealing=True)
+        assert r1.makespan <= r0.makespan * 1.001
+        # Idle time strictly improves on this pathological layout.
+        assert r1.occupancy.mean() >= r0.occupancy.mean() - 1e-12
+
+    def test_redistributes_busy_time(self, imbalanced):
+        """The busy-time spread across processes narrows."""
+        g, m, d = imbalanced
+        r0 = simulate(g, d, m)
+        r1 = simulate(g, d, m, work_stealing=True)
+        spread0 = float(r0.busy.max() - r0.busy.min())
+        spread1 = float(r1.busy.max() - r1.busy.min())
+        assert spread1 <= spread0 * 1.001
+
+    def test_harmless_on_balanced_distribution(self):
+        """On a well-balanced layout stealing must not blow up the time
+        (round-trips could hurt; the idle-only trigger keeps it safe)."""
+        g = build_cholesky_graph(16, 2, 512, RANK)
+        m = MachineSpec(nodes=4, cores_per_node=4)
+        d = TwoDBlockCyclic(ProcessGrid.squarest(4))
+        r0 = simulate(g, d, m)
+        r1 = simulate(g, d, m, work_stealing=True)
+        assert r1.makespan <= r0.makespan * 1.15
+
+    def test_deterministic(self, imbalanced):
+        g, m, d = imbalanced
+        a = simulate(g, d, m, work_stealing=True)
+        b = simulate(g, d, m, work_stealing=True)
+        assert a.makespan == b.makespan
+        np.testing.assert_array_equal(a.busy, b.busy)
