@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from repro import TruncationRule, st_3d_exp_problem
+from repro import TruncationRule
 from repro.analysis import format_series, write_csv
 from repro.core import (
     local_minimum_search,

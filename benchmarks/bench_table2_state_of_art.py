@@ -25,7 +25,6 @@ Recursive      tuned B     band(B) + 2DBCDD        all region-(1)
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import format_table, paper_rank_model, write_csv
 from repro.core import tune_band_size

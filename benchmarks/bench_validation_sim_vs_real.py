@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro import TruncationRule, st_3d_exp_problem
 from repro.analysis import format_table, write_csv

@@ -16,6 +16,7 @@ reduced scale (see DESIGN.md's experiment index).  Conventions:
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -27,9 +28,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: The scaled stand-ins for the paper's two reference matrix sizes
 #: (N = 1.08M and 2.16M with b = 2400 -> NT = 450/900).  We keep the
-#: b = sqrt(N) relationship at laptop scale.
-SCALED_N_SMALL = 7200
-SCALED_B_SMALL = 450  # NT = 16
+#: b = sqrt(N) relationship at laptop scale.  CI's bench-smoke job
+#: shrinks them further via the REPRO_BENCH_* environment knobs; the
+#: reproduction assertions are written against shape, not scale, and
+#: hold at both sizes.
+SCALED_N_SMALL = int(os.environ.get("REPRO_BENCH_N_SMALL", "7200"))
+SCALED_B_SMALL = int(os.environ.get("REPRO_BENCH_B_SMALL", "450"))  # NT = 16
 SCALED_N_LARGE = 14400
 SCALED_B_LARGE = 600  # NT = 24
 

@@ -1,11 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four focused commands mirroring the library's main entry points:
+Five focused commands mirroring the library's main entry points:
 
 * ``info``      — version and subsystem inventory;
 * ``demo``      — compress → auto-tune → factorize → solve, with a report;
 * ``tune``      — run Algorithm 1 on a problem and print its cost table;
-* ``simulate``  — replay a Cholesky DAG on the machine simulator.
+* ``simulate``  — replay a Cholesky DAG on the machine simulator;
+* ``execute``   — run the DAG for real on the parallel thread-pool
+  executor, with occupancy/Gantt/Chrome-trace artifacts.
 """
 
 from __future__ import annotations
@@ -49,8 +51,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
           f"ranks {mn}/{avg:.1f}/{mx}")
 
     t0 = time.perf_counter()
-    rep = solver.factorize()
-    print(f"factorized in {time.perf_counter() - t0:.2f}s "
+    rep = solver.factorize(n_workers=args.workers)
+    how = f" on {args.workers} workers" if args.workers else ""
+    print(f"factorized in {time.perf_counter() - t0:.2f}s{how} "
           f"({rep.counter.total / 1e9:.2f} modelled Gflop)")
 
     rng = np.random.default_rng(args.seed)
@@ -143,6 +146,74 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_execute(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import TruncationRule, st_3d_exp_problem
+    from repro.analysis import format_table, gantt, occupancy_summary
+    from repro.analysis.tracing import export_chrome_trace
+    from repro.core import tlr_cholesky
+    from repro.matrix import BandTLRMatrix
+    from repro.runtime import build_cholesky_graph, execute_graph_parallel
+
+    problem = st_3d_exp_problem(args.n, args.tile, seed=args.seed)
+    rule = TruncationRule(eps=args.accuracy)
+    matrix = BandTLRMatrix.from_problem(problem, rule, band_size=args.band)
+    grid = matrix.rank_grid()
+
+    def rank_fn(i: int, j: int) -> int:
+        return int(max(grid[i, j], 1))
+
+    graph = build_cholesky_graph(
+        matrix.ntiles, args.band, args.tile, rank_fn
+    )
+
+    t_seq = None
+    if args.compare_sequential:
+        seq = matrix.copy()
+        t0 = time.perf_counter()
+        tlr_cholesky(seq)
+        t_seq = time.perf_counter() - t0
+
+    want_trace = args.gantt or args.trace is not None
+    res = execute_graph_parallel(
+        graph, matrix,
+        n_workers=args.workers,
+        scheduler=args.scheduler,
+        collect_trace=want_trace,
+    )
+    s = occupancy_summary(res)
+    rows = [
+        ("tasks", res.tasks_executed),
+        ("workers", res.n_workers),
+        ("wall-clock (s)", round(res.makespan, 3)),
+        ("busy core-s", round(float(res.busy.sum()), 3)),
+        ("mean occupancy", round(s.mean_occupancy, 3)),
+        ("modelled Gflop", round(res.counter.total / 1e9, 2)),
+        ("max rank seen", res.max_rank_seen),
+        ("pool hit rate", round(res.pool.stats.hit_rate, 3)),
+    ]
+    if t_seq is not None:
+        rows.append(("sequential (s)", round(t_seq, 3)))
+        rows.append(("speedup", round(t_seq / max(res.makespan, 1e-12), 2)))
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"real execution: n={args.n}, b={args.tile}, band={args.band}",
+    ))
+    if args.verify:
+        l = matrix.to_dense(lower_only=True)
+        a = problem.dense()
+        err = float(np.linalg.norm(l @ l.T - a) / np.linalg.norm(a))
+        print(f"backward error |LL^T - A|/|A|: {err:.2e}")
+    if args.gantt:
+        print()
+        print(gantt(res, width=args.width))
+    if args.trace is not None:
+        out = export_chrome_trace(res, args.trace)
+        print(f"Chrome trace written to {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     p = argparse.ArgumentParser(
@@ -158,6 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--tile", type=int, default=128)
     d.add_argument("--accuracy", type=float, default=1e-8)
     d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--workers", type=int, default=None,
+                   help="factorize on the parallel executor with N threads")
 
     t = sub.add_parser("tune", help="run the BAND_SIZE auto-tuner")
     t.add_argument("--n", type=int, default=4050)
@@ -182,6 +255,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="accelerators per node for the dense band")
     s.add_argument("--gantt", action="store_true", help="print a text Gantt")
     s.add_argument("--width", type=int, default=100)
+
+    e = sub.add_parser(
+        "execute",
+        help="run the Cholesky DAG for real on the parallel executor",
+    )
+    e.add_argument("--n", type=int, default=2048)
+    e.add_argument("--tile", type=int, default=128)
+    e.add_argument("--band", type=int, default=2)
+    e.add_argument("--accuracy", type=float, default=1e-8)
+    e.add_argument("--seed", type=int, default=0)
+    e.add_argument("--workers", type=int, default=None,
+                   help="worker threads (default: cpu count)")
+    e.add_argument("--scheduler", choices=["priority", "fifo", "lifo"],
+                   default="priority")
+    e.add_argument("--compare-sequential", action="store_true",
+                   help="also time the sequential loops and report speedup")
+    e.add_argument("--verify", action="store_true",
+                   help="check the backward error against the dense matrix")
+    e.add_argument("--gantt", action="store_true", help="print a text Gantt")
+    e.add_argument("--width", type=int, default=100)
+    e.add_argument("--trace", type=str, default=None, metavar="PATH",
+                   help="write a Chrome-tracing JSON of the real run")
     return p
 
 
@@ -193,6 +288,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "tune": _cmd_tune,
         "simulate": _cmd_simulate,
+        "execute": _cmd_execute,
     }
     return handlers[args.command](args)
 

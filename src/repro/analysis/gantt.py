@@ -1,8 +1,11 @@
 """Text-mode execution-trace rendering (Gantt charts & timelines).
 
 The paper's Fig. 11 is built from execution traces; the simulator can
-collect the same per-task records (``collect_trace=True``).  These
-helpers turn a trace into terminal-friendly views:
+collect the same per-task records (``collect_trace=True``), and so can
+the real parallel executor (:mod:`repro.runtime.parallel`) — its report
+exposes the same ``trace``/``makespan`` surface, so every helper here
+accepts either.  These helpers turn a trace into terminal-friendly
+views:
 
 * :func:`gantt` — one row per (process, core): time bucketed into
   columns, each cell showing the kernel class that dominated the bucket;
@@ -14,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.parallel import ParallelExecutionReport
 from ..runtime.simulator import SimResult
 from ..runtime.task import TaskKind
 from ..utils.exceptions import ConfigurationError
@@ -29,7 +33,7 @@ _GLYPH = {
 }
 
 
-def _require_trace(result: SimResult) -> list[tuple]:
+def _require_trace(result: SimResult | ParallelExecutionReport) -> list[tuple]:
     if result.trace is None:
         raise ConfigurationError(
             "result has no trace; simulate with collect_trace=True"
@@ -37,7 +41,12 @@ def _require_trace(result: SimResult) -> list[tuple]:
     return result.trace
 
 
-def gantt(result: SimResult, *, width: int = 80, max_rows: int = 32) -> str:
+def gantt(
+    result: SimResult | ParallelExecutionReport,
+    *,
+    width: int = 80,
+    max_rows: int = 32,
+) -> str:
     """Render the trace as one text row per busy process-core.
 
     Tasks are assigned to core lanes greedily in start order (the
@@ -87,7 +96,7 @@ def gantt(result: SimResult, *, width: int = 80, max_rows: int = 32) -> str:
 
 
 def utilization_timeline(
-    result: SimResult, *, buckets: int = 60
+    result: SimResult | ParallelExecutionReport, *, buckets: int = 60
 ) -> tuple[np.ndarray, np.ndarray]:
     """Busy-core count per time bucket.
 

@@ -53,8 +53,10 @@ class OccupancySummary:
     achieved_gflops: float
 
 
-def occupancy_summary(result: SimResult) -> OccupancySummary:
-    """Summarize per-process busy/idle time from a simulation result."""
+def occupancy_summary(result) -> OccupancySummary:
+    """Summarize per-process busy/idle time from a simulation result (or
+    any object with the same ``busy``/``makespan``/``occupancy`` surface,
+    e.g. a parallel-executor report, whose workers read as processes)."""
     capacity = result.cores_per_node * result.makespan
     idle = np.maximum(capacity - result.busy, 0.0)
     mean_busy = float(result.busy.mean()) if result.busy.size else 0.0

@@ -1,10 +1,14 @@
-"""Chrome-tracing export of simulated execution traces.
+"""Chrome-tracing export of simulated and real execution traces.
 
 ``chrome://tracing`` / Perfetto consume a simple JSON event format; the
 simulator's per-task trace maps onto it directly (one complete event per
 task, one "thread" per reconstructed core lane).  This is how PaRSEC
 users actually look at executions (via OTF2/Chrome converters), so the
-reproduction ships the same workflow for its simulated runs.
+reproduction ships the same workflow for its simulated runs — and for
+*real* parallel runs: the parallel executor's report
+(:class:`~repro.runtime.parallel.ParallelExecutionReport`) carries the
+same ``trace``/``makespan``/``nodes`` surface, so one exporter serves
+both.
 """
 
 from __future__ import annotations
@@ -12,22 +16,27 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..runtime.parallel import ParallelExecutionReport
 from ..runtime.simulator import SimResult
 from ..utils.exceptions import ConfigurationError
 
 __all__ = ["export_chrome_trace"]
 
 
-def export_chrome_trace(result: SimResult, path: str | Path) -> Path:
+def export_chrome_trace(
+    result: SimResult | ParallelExecutionReport, path: str | Path
+) -> Path:
     """Write the trace as a Chrome-tracing JSON file.
 
     Processes map to tracing *pids*, reconstructed core lanes to *tids*;
-    durations are exported in microseconds (the format's unit).
+    durations are exported in microseconds (the format's unit).  For a
+    parallel-executor report, each worker thread is one pid.
 
     Parameters
     ----------
     result:
-        A simulation result produced with ``collect_trace=True``.
+        A simulation result or parallel-execution report produced with
+        ``collect_trace=True``.
     path:
         Output file; ``.json`` appended when missing.
     """

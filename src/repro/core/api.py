@@ -109,11 +109,16 @@ class TLRSolver:
     def is_factorized(self) -> bool:
         return self._factorized
 
-    def factorize(self) -> FactorizationReport:
-        """Run the BAND-DENSE-TLR Cholesky in place."""
+    def factorize(self, *, n_workers: int | None = None) -> FactorizationReport:
+        """Run the BAND-DENSE-TLR Cholesky in place.
+
+        With ``n_workers`` the factorization executes on the
+        dependency-driven thread-pool executor (same factor, bitwise,
+        for any worker count); without it, the sequential loops run.
+        """
         if self._factorized:
             raise ConfigurationError("matrix is already factorized")
-        self.report = tlr_cholesky(self.matrix)
+        self.report = tlr_cholesky(self.matrix, n_workers=n_workers)
         self._factorized = True
         return self.report
 

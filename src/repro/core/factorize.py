@@ -60,6 +60,7 @@ def tlr_cholesky(
     *,
     rule: TruncationRule | None = None,
     adaptive_threshold: float | None = None,
+    n_workers: int | None = None,
 ) -> FactorizationReport:
     """Factorize ``matrix`` in place into its lower Cholesky factor.
 
@@ -75,6 +76,14 @@ def tlr_cholesky(
         tile whose rank exceeds ``adaptive_threshold * b`` after a
         recompression is densified on demand, and so is any low-rank
         destination whose both GEMM operands are (or became) dense.
+    n_workers:
+        When set, the factorization runs through the dependency-driven
+        parallel executor (:mod:`repro.runtime.parallel`) on that many
+        worker threads instead of the sequential loops — the DAG is built
+        from the matrix's measured ranks and the factor is bitwise
+        identical for any worker count.  Incompatible with
+        ``adaptive_threshold`` (online densification rewrites the graph
+        mid-flight).
 
     Returns
     -------
@@ -91,6 +100,13 @@ def tlr_cholesky(
         raise ConfigurationError(
             f"adaptive_threshold must be in (0, 1], got {adaptive_threshold}"
         )
+    if n_workers is not None:
+        if adaptive_threshold is not None:
+            raise ConfigurationError(
+                "adaptive_threshold requires the sequential path; "
+                "it cannot be combined with n_workers"
+            )
+        return _tlr_cholesky_parallel(matrix, rule, n_workers)
     nt = matrix.ntiles
     report = FactorizationReport()
 
@@ -145,3 +161,34 @@ def tlr_cholesky(
                 if recomp is not None:
                     maybe_densify_grown(m, n, recomp.rank_after)
     return report
+
+
+def _tlr_cholesky_parallel(
+    matrix: BandTLRMatrix, rule: TruncationRule, n_workers: int
+) -> FactorizationReport:
+    """Run the factorization through the parallel graph executor.
+
+    Builds the Cholesky DAG from the matrix's measured rank grid (the
+    same graph the simulator replays) and executes it on ``n_workers``
+    threads; the report surface matches the sequential path's.
+    """
+    # Local import: repro.runtime must stay importable without repro.core.
+    from ..runtime.graph import build_cholesky_graph
+    from ..runtime.parallel import execute_graph_parallel
+
+    grid = matrix.rank_grid()
+
+    def rank_fn(i: int, j: int) -> int:
+        return int(max(grid[i, j], 1))
+
+    graph = build_cholesky_graph(
+        matrix.ntiles, matrix.band_size, matrix.desc.tile_size, rank_fn
+    )
+    run = execute_graph_parallel(
+        graph, matrix, rule=rule, n_workers=n_workers
+    )
+    return FactorizationReport(
+        counter=run.counter,
+        rank_growth_events=run.rank_growth_events,
+        max_rank_seen=run.max_rank_seen,
+    )

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg as sla
 
-from ..linalg.tiles import DenseTile, LowRankTile, Tile
+from ..linalg.tiles import DenseTile, Tile
 from ..matrix.tlr_matrix import BandTLRMatrix
 from ..utils.exceptions import ConfigurationError
 

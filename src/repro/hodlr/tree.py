@@ -14,7 +14,7 @@ the same locality argument TLR tiles rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..utils.validation import check_positive_int
 

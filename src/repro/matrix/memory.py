@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..linalg.tiles import DenseTile, LowRankTile
 from ..utils.exceptions import ConfigurationError
 from .tlr_matrix import BandTLRMatrix
 

@@ -8,6 +8,13 @@ from .graph import TaskGraph, build_cholesky_graph, classify_gemm
 from .jdf import CHOLESKY_JDF, cholesky_graph_from_jdf, compile_jdf, parse_jdf
 from .machine import SHAHEEN_II_LIKE, KernelRateModel, MachineSpec
 from .memory_pool import MemoryPool, PoolStats
+from .parallel import (
+    ParallelExecutionReport,
+    ThreadSafeFlopCounter,
+    ThreadSafeMemoryPool,
+    ThreadSafeMemoryTracker,
+    execute_graph_parallel,
+)
 from .simulator import CommStats, SimResult, simulate
 from .solve_graph import SolveKind, build_solve_graph
 from .task import Edge, EdgeKind, Task, TaskKind, task_sort_key
@@ -36,6 +43,11 @@ __all__ = [
     "SHAHEEN_II_LIKE",
     "MemoryPool",
     "PoolStats",
+    "ParallelExecutionReport",
+    "ThreadSafeFlopCounter",
+    "ThreadSafeMemoryPool",
+    "ThreadSafeMemoryTracker",
+    "execute_graph_parallel",
     "CommStats",
     "SimResult",
     "simulate",

@@ -32,12 +32,11 @@ hand-written PTG builder.
 
 from __future__ import annotations
 
-import itertools
 import re
 from dataclasses import dataclass, field
 
 from ..linalg.flops import KernelClass
-from ..utils.exceptions import ConfigurationError, SchedulingError
+from ..utils.exceptions import ConfigurationError
 from .graph import TaskGraph
 from .task import Edge, Task, TaskKind
 

@@ -1,0 +1,423 @@
+"""Dependency-driven parallel executor: real numerics on worker threads.
+
+The sequential executor (:mod:`repro.runtime.executor`) walks the Cholesky
+DAG in topological order on one thread — a correctness oracle.  This
+module runs the *same* :class:`~repro.runtime.graph.TaskGraph` the
+simulator replays, but concurrently: a ready queue fed by dependency
+countdown (PaRSEC's activation model), a pool of worker threads, and
+per-tile locks so independent GEMMs update disjoint tiles at the same
+time.  NumPy/SciPy release the GIL inside BLAS/LAPACK calls, so the
+kernels — where virtually all the time goes — genuinely overlap.
+
+Determinism: every write to a tile is totally ordered by the graph's
+dataflow edges (the LOCAL chains of the PTG), and every read is ordered
+against the tile's final write, so the computed factor is *bitwise
+identical* for any worker count and any interleaving.  The scheduler
+policy (``priority``/``fifo``/``lifo``) matches
+:func:`repro.runtime.simulator.simulate` so real and simulated runs can be
+compared queue-for-queue.
+
+Each worker records per-task start/end timestamps; the resulting report
+quacks like a :class:`~repro.runtime.simulator.SimResult` (``trace``,
+``makespan``, ``busy``, ``occupancy``) so the existing analysis pipeline —
+:func:`repro.analysis.gantt.gantt`, :func:`repro.analysis.occupancy_summary`,
+:func:`repro.analysis.tracing.export_chrome_trace` — consumes real
+executions exactly as it consumes simulated ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..linalg import hcore
+from ..linalg.compression import TruncationRule
+from ..linalg.flops import FlopCounter
+from ..linalg.tiles import LowRankTile
+from ..matrix.memory import MemoryTracker
+from ..matrix.tlr_matrix import BandTLRMatrix
+from ..utils.exceptions import RuntimeSystemError, SchedulingError
+from ..utils.validation import check_positive_int
+from .executor import _canonical_tid
+from .graph import TaskGraph
+from .memory_pool import MemoryPool
+from .task import TaskKind, task_sort_key
+
+__all__ = [
+    "ParallelExecutionReport",
+    "ThreadSafeFlopCounter",
+    "ThreadSafeMemoryPool",
+    "ThreadSafeMemoryTracker",
+    "execute_graph_parallel",
+]
+
+
+class ThreadSafeFlopCounter(FlopCounter):
+    """A :class:`FlopCounter` whose ``add`` is atomic under a lock.
+
+    The read-modify-write on the per-class dicts is not atomic in
+    CPython; concurrent kernels would lose updates without this.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def add(self, kind, flops) -> None:
+        with self._lock:
+            super().add(kind, flops)
+
+
+class ThreadSafeMemoryPool(MemoryPool):
+    """A :class:`MemoryPool` safe to share across worker threads.
+
+    ``take`` calls ``allocate`` internally, hence the reentrant lock.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.RLock()
+
+    def allocate(self, shape):
+        with self._lock:
+            return super().allocate(shape)
+
+    def release(self, buf) -> None:
+        with self._lock:
+            super().release(buf)
+
+    def take(self, array):
+        with self._lock:
+            return super().take(array)
+
+
+class ThreadSafeMemoryTracker(MemoryTracker):
+    """A :class:`MemoryTracker` whose counters update atomically."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def allocate_tile(self, key, tile) -> None:
+        with self._lock:
+            super().allocate_tile(key, tile)
+
+    def transient(self, elements) -> None:
+        with self._lock:
+            super().transient(elements)
+
+
+@dataclass
+class ParallelExecutionReport:
+    """Artifacts of a parallel (numerical) graph execution.
+
+    Carries the same accounting as the sequential
+    :class:`~repro.runtime.executor.ExecutionReport` plus the timing
+    surface of a :class:`~repro.runtime.simulator.SimResult` (``makespan``,
+    ``busy``, ``trace``, ``occupancy``) so the gantt/occupancy/Chrome-trace
+    pipeline consumes real runs unchanged.  Each worker thread maps to one
+    "process" lane (``nodes = n_workers``, ``cores_per_node = 1``).
+    """
+
+    counter: ThreadSafeFlopCounter = field(default_factory=ThreadSafeFlopCounter)
+    tracker: ThreadSafeMemoryTracker = field(
+        default_factory=ThreadSafeMemoryTracker
+    )
+    pool: ThreadSafeMemoryPool = field(default_factory=ThreadSafeMemoryPool)
+    rank_growth_events: int = 0
+    max_rank_seen: int = 0
+    tasks_executed: int = 0
+    n_workers: int = 1
+    makespan: float = 0.0
+    busy: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    total_flops: float = 0.0
+    trace: list[tuple] | None = None
+
+    @property
+    def nodes(self) -> int:
+        """Worker count, presented as SimResult's process count."""
+        return self.n_workers
+
+    @property
+    def cores_per_node(self) -> int:
+        return 1
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """Per-worker busy fraction in [0, 1]."""
+        return self.busy / max(self.makespan, 1e-300)
+
+    @property
+    def achieved_gflops(self) -> float:
+        """Modelled flops over real wall-clock (Gflop/s)."""
+        return self.total_flops / max(self.makespan, 1e-300) / 1e9
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Aggregate busy time over makespan — parallel efficiency proxy."""
+        return float(self.busy.sum()) / max(self.makespan, 1e-300)
+
+
+def execute_graph_parallel(
+    graph: TaskGraph,
+    matrix: BandTLRMatrix,
+    *,
+    n_workers: int | None = None,
+    rule: TruncationRule | None = None,
+    use_pool: bool = True,
+    scheduler: str = "priority",
+    collect_trace: bool = False,
+) -> ParallelExecutionReport:
+    """Execute a (non-expanded) Cholesky task graph on worker threads.
+
+    Parameters
+    ----------
+    graph:
+        Graph built by :func:`repro.runtime.graph.build_cholesky_graph`
+        *without* ``recursive_split`` (same restriction as the sequential
+        executor).
+    matrix:
+        The compressed matrix to factorize; mutated into its Cholesky
+        factor (lower triangle).  The result is bitwise identical to the
+        sequential executor's.
+    n_workers:
+        Worker thread count; defaults to ``os.cpu_count()``.
+    rule:
+        Truncation rule for recompressions; defaults to the matrix's rule.
+    use_pool:
+        Re-associate recompression outputs with the shared memory pool
+        (the Section VII-B dynamic-memory path).
+    scheduler:
+        Ready-queue policy, matching ``simulate(scheduler=...)``:
+        ``"priority"`` (panel-ordered, critical-path promoting),
+        ``"fifo"`` (become-ready order) or ``"lifo"`` (newest first).
+    collect_trace:
+        Record per-task ``(tid, worker, start, end)`` tuples in seconds
+        relative to launch — consumable by ``gantt`` and
+        ``export_chrome_trace`` exactly like a simulator trace.
+
+    Returns
+    -------
+    ParallelExecutionReport
+
+    Raises
+    ------
+    SchedulingError
+        On an invalid scheduler policy or a cyclic graph (deadlock).
+    RuntimeSystemError
+        On graph/matrix mismatch, an expanded graph, or when a kernel
+        raised inside a worker (the original exception is chained).
+    """
+    if scheduler not in ("priority", "fifo", "lifo"):
+        raise SchedulingError(
+            f"scheduler must be 'priority', 'fifo' or 'lifo', got {scheduler!r}"
+        )
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    check_positive_int("n_workers", n_workers)
+    if graph.ntiles != matrix.ntiles:
+        raise RuntimeSystemError(
+            f"graph is for NT={graph.ntiles} but the matrix has NT={matrix.ntiles}"
+        )
+    if graph.band_size != matrix.band_size:
+        raise RuntimeSystemError(
+            f"graph band_size={graph.band_size} does not match "
+            f"matrix band_size={matrix.band_size}"
+        )
+    for tid, task in graph.tasks.items():
+        if tid != _canonical_tid(task):
+            raise RuntimeSystemError(
+                "parallel executor received an expanded graph; build it "
+                "without recursive_split"
+            )
+
+    rule = rule or matrix.rule
+    report = ParallelExecutionReport(n_workers=n_workers)
+    report.tracker.register_matrix(matrix)
+    report.total_flops = graph.total_flops()
+
+    # --- dependency countdown state -----------------------------------
+    tids = list(graph.tasks)
+    indeg: dict[tuple, int] = {}
+    succs: dict[tuple, list[tuple]] = {tid: [] for tid in tids}
+    for tid, task in graph.tasks.items():
+        sources = {e.src for e in task.deps}
+        indeg[tid] = len(sources)
+        for src in sources:
+            succs[src].append(tid)
+
+    cond = threading.Condition()
+    ready: list[tuple] = []  # heap of (key, tid)
+    arrival_seq = 0
+
+    def ready_key(tid: tuple) -> tuple:
+        nonlocal arrival_seq
+        arrival_seq += 1
+        if scheduler == "fifo":
+            return (arrival_seq,)
+        if scheduler == "lifo":
+            return (-arrival_seq,)
+        return task_sort_key(graph.tasks[tid])
+
+    for tid in tids:
+        if indeg[tid] == 0:
+            heapq.heappush(ready, (ready_key(tid), tid))
+
+    n_tasks = len(tids)
+    state = {"executed": 0, "inflight": 0, "failed": None}
+
+    # --- shared numerical state ---------------------------------------
+    # One lock per stored tile, held while *writing* that tile.  Reads
+    # need no lock: a task's input tiles were finalized by dependency
+    # predecessors, and the dataflow chains guarantee no concurrent
+    # writer exists while a reader runs.  Locking only the destination is
+    # what lets GEMMs that share a panel tile update disjoint output
+    # tiles concurrently.
+    tile_locks = {ij: threading.Lock() for ij in matrix.tiles}
+    pooled: set[int] = set()  # ids of factor arrays owned by the pool
+    stats_lock = threading.Lock()
+
+    def run_task(tid: tuple) -> None:
+        task = graph.tasks[tid]
+        kind = task.kind
+        if kind is TaskKind.POTRF:
+            (_, k) = tid
+            with tile_locks[(k, k)]:
+                hcore.potrf_dense(
+                    matrix.tile(k, k), counter=report.counter, tile_index=(k, k)
+                )
+        elif kind is TaskKind.TRSM:
+            (_, m, k) = tid
+            with tile_locks[(m, k)]:
+                out = hcore.trsm_auto(
+                    matrix.tile(k, k), matrix.tile(m, k), counter=report.counter
+                )
+                matrix.set_tile(m, k, out)
+        elif kind is TaskKind.SYRK:
+            (_, n, k) = tid
+            with tile_locks[(n, n)]:
+                hcore.syrk_auto(
+                    matrix.tile(n, k), matrix.tile(n, n), counter=report.counter
+                )
+        else:  # GEMM
+            (_, m, n, k) = tid
+            with tile_locks[(m, n)]:
+                out, _, recomp = hcore.gemm_auto(
+                    matrix.tile(m, k),
+                    matrix.tile(n, k),
+                    matrix.tile(m, n),
+                    rule,
+                    counter=report.counter,
+                )
+                if recomp is not None:
+                    bm, bn = out.shape
+                    report.tracker.transient((bm + bn) * recomp.rank_before)
+                    if use_pool:
+                        old = matrix.tile(m, n)
+                        if isinstance(old, LowRankTile):
+                            for arr in (old.u, old.v):
+                                with stats_lock:
+                                    owned = id(arr) in pooled
+                                    if owned:
+                                        pooled.discard(id(arr))
+                                if owned:
+                                    report.pool.release(arr)
+                        if isinstance(out, LowRankTile) and out.rank > 0:
+                            out = LowRankTile(
+                                report.pool.take(out.u), report.pool.take(out.v)
+                            )
+                            with stats_lock:
+                                pooled.add(id(out.u))
+                                pooled.add(id(out.v))
+                    with stats_lock:
+                        if recomp.grew:
+                            report.rank_growth_events += 1
+                        report.max_rank_seen = max(
+                            report.max_rank_seen, recomp.rank_after
+                        )
+                matrix.set_tile(m, n, out)
+                report.tracker.allocate_tile((m, n), out)
+
+    busy = np.zeros(n_workers)
+    traces: list[list[tuple]] = [[] for _ in range(n_workers)]
+    t0 = time.perf_counter()
+
+    def worker(wid: int) -> None:
+        while True:
+            with cond:
+                while (
+                    not ready
+                    and state["executed"] + state["inflight"] < n_tasks
+                    and state["failed"] is None
+                ):
+                    cond.wait()
+                if state["failed"] is not None or (
+                    not ready and state["inflight"] == 0
+                ):
+                    return
+                if not ready:
+                    # Peers are still executing; their completions may
+                    # feed the queue — wait for the next signal.
+                    cond.wait(timeout=0.05)
+                    continue
+                _, tid = heapq.heappop(ready)
+                state["inflight"] += 1
+            start = time.perf_counter() - t0
+            try:
+                run_task(tid)
+            except BaseException as exc:  # propagate to the caller
+                with cond:
+                    if state["failed"] is None:
+                        state["failed"] = exc
+                    state["inflight"] -= 1
+                    cond.notify_all()
+                return
+            end = time.perf_counter() - t0
+            busy[wid] += end - start
+            if collect_trace:
+                traces[wid].append((tid, wid, start, end))
+            with cond:
+                state["inflight"] -= 1
+                state["executed"] += 1
+                released = 0
+                for succ in succs[tid]:
+                    indeg[succ] -= 1
+                    if indeg[succ] == 0:
+                        heapq.heappush(ready, (ready_key(succ), succ))
+                        released += 1
+                if state["executed"] == n_tasks or released:
+                    cond.notify_all()
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), name=f"repro-worker-{w}")
+        for w in range(n_workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    report.makespan = time.perf_counter() - t0
+    report.busy = busy
+    report.tasks_executed = state["executed"]
+    if collect_trace:
+        report.trace = sorted(
+            (rec for per_worker in traces for rec in per_worker),
+            key=lambda r: (r[1], r[2]),
+        )
+
+    if state["failed"] is not None:
+        raise RuntimeSystemError(
+            f"worker failed while executing the graph: {state['failed']}"
+        ) from state["failed"]
+    if state["executed"] != n_tasks:
+        raise SchedulingError(
+            f"parallel execution deadlocked: {state['executed']} of "
+            f"{n_tasks} tasks completed (cyclic graph?)"
+        )
+    return report

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import TruncationRule
 from repro.analysis import RankModel
 from repro.matrix import BandTLRMatrix
 from repro.core import (

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.linalg import (
-    LowRankTile,
     TruncationRule,
     compress_block,
     recompress,

@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro import TruncationRule, st_3d_exp_problem
-from repro.analysis import RankModel
 from repro.core import (
     apply_densification,
     plan_tile_densification,

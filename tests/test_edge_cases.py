@@ -8,11 +8,8 @@ import scipy.linalg as sla
 from repro import TruncationRule, st_3d_exp_problem
 from repro.linalg import (
     DenseTile,
-    LowRankTile,
     compress_block,
-    gemm_auto,
     gemm_dense_lrd,
-    gemm_dense_lrlr,
     gemm_lr,
     trsm_lr,
 )

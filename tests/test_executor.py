@@ -4,7 +4,6 @@ sequential reference and drives the dynamic-memory machinery."""
 import numpy as np
 import pytest
 
-from repro import TruncationRule
 from repro.matrix import BandTLRMatrix
 from repro.core import tlr_cholesky
 from repro.runtime import build_cholesky_graph, execute_graph

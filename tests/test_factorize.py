@@ -33,6 +33,7 @@ class TestCorrectness:
             assert np.all(np.triu(d, 1) == 0.0)
             assert np.all(np.diag(d) > 0.0)
 
+    @pytest.mark.slow
     def test_looser_eps_larger_error(self, medium_problem, medium_dense):
         errs = []
         for eps in (1e-10, 1e-6, 1e-2):

@@ -8,8 +8,7 @@ from repro.linalg.flops import (
     flops_gemm_lr,
     flops_gemm_lr_dense_general,
     flops_gemm_lr_general,
-    flops_gemm_lr_update_dense,
-)
+    )
 
 
 class TestReductionToTableI:

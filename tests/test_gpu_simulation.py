@@ -1,10 +1,8 @@
 """Unit tests for GPU-accelerated simulation (paper future work)."""
 
-import numpy as np
 import pytest
 
 from repro.distribution import BandDistribution, ProcessGrid, TwoDBlockCyclic
-from repro.linalg import KernelClass
 from repro.runtime import MachineSpec, build_cholesky_graph, simulate
 from repro.utils import ConfigurationError
 

@@ -10,6 +10,8 @@ import pytest
 
 from repro import TLRSolver, TruncationRule, st_3d_exp_problem
 from repro.analysis import RankModel, occupancy_summary
+
+pytestmark = pytest.mark.slow
 from repro.core import autotune_matrix, solve_spd, tlr_cholesky
 from repro.distribution import BandDistribution, ProcessGrid
 from repro.matrix import BandTLRMatrix

@@ -8,7 +8,6 @@ import pytest
 from repro.analysis import format_table, render_rank_grid
 from repro.distribution import BandDistribution, ProcessGrid, load_per_process
 from repro.runtime.simulator import CommStats
-from repro.utils import ConfigurationError
 
 
 class TestUpperBandDistribution:

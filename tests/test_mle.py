@@ -72,6 +72,7 @@ class TestLikelihoodEvaluator:
 
 
 class TestFitMle:
+    @pytest.mark.slow
     def test_recovers_parameters_roughly(self, mle_problem, mle_z):
         """With n=343 the MLE should land in the right neighbourhood of
         (theta1, theta2) = (1, 0.1)."""

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.linalg as sla
 
 from repro.statistics import CovarianceProblem, st_3d_exp_problem
 from repro.utils import ConfigurationError, ProblemError

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) on cross-cutting invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,6 +13,9 @@ from repro.linalg import KernelClass
 from repro.matrix import BandTLRMatrix, TileDescriptor
 from repro.runtime import MachineSpec, build_cholesky_graph, simulate
 from repro.runtime.graph import classify_gemm
+
+pytestmark = pytest.mark.slow
+
 
 
 def _structured_spd(n, seed, decay=2.0):

@@ -1,6 +1,7 @@
 """Additional hypothesis property suites on runtime structures."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,6 +14,9 @@ from repro.distribution import (
 from repro.runtime import build_cholesky_graph
 from repro.runtime.dataflow import classify_dataflow
 from repro.runtime.solve_graph import SolveKind, build_solve_graph
+
+pytestmark = pytest.mark.slow
+
 
 
 @given(

@@ -2,7 +2,6 @@
 GPUs, tracing, recursive graphs) in one run — the configurations a real
 study would actually use together."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import gantt, occupancy_summary, paper_rank_model

@@ -1,6 +1,5 @@
 """Unit tests for the triangular-solve task graphs."""
 
-import pytest
 
 from repro.distribution import BandDistribution, ProcessGrid
 from repro.runtime import MachineSpec, build_cholesky_graph, simulate

@@ -3,12 +3,6 @@
 import pytest
 
 from repro.linalg import KernelClass
-from repro.linalg.flops import (
-    flops_gemm_dense,
-    flops_potrf_dense,
-    flops_syrk_dense,
-    flops_trsm_dense,
-)
 from repro.runtime import TaskKind, build_cholesky_graph, classify_gemm
 from repro.runtime.task import task_sort_key
 from repro.utils import ConfigurationError, SchedulingError

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import TruncationRule
 from repro.linalg import DenseTile, LowRankTile
 from repro.matrix import BandTLRMatrix
 from repro.utils import ConfigurationError
