@@ -45,10 +45,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     print(f"generating st-3D-exp problem: n={args.n}, tile={args.tile}")
     problem = st_3d_exp_problem(args.n, args.tile, seed=args.seed)
-    solver = TLRSolver.from_problem(problem, accuracy=args.accuracy)
+    solver = TLRSolver.from_problem(
+        problem,
+        accuracy=args.accuracy,
+        compression=args.compression,
+        n_workers=args.workers,
+    )
     mn, avg, mx = solver.matrix.rank_stats()
-    print(f"compressed at eps={args.accuracy:g}: band={solver.band_size}, "
-          f"ranks {mn}/{avg:.1f}/{mx}")
+    print(f"compressed at eps={args.accuracy:g} [{args.compression}]: "
+          f"band={solver.band_size}, ranks {mn}/{avg:.1f}/{mx}")
 
     t0 = time.perf_counter()
     rep = solver.factorize(n_workers=args.workers)
@@ -158,7 +163,13 @@ def _cmd_execute(args: argparse.Namespace) -> int:
 
     problem = st_3d_exp_problem(args.n, args.tile, seed=args.seed)
     rule = TruncationRule(eps=args.accuracy)
-    matrix = BandTLRMatrix.from_problem(problem, rule, band_size=args.band)
+    matrix = BandTLRMatrix.from_problem(
+        problem,
+        rule,
+        band_size=args.band,
+        backend=args.compression,
+        n_workers=args.workers,
+    )
     grid = matrix.rank_grid()
 
     def rank_fn(i: int, j: int) -> int:
@@ -230,7 +241,11 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--accuracy", type=float, default=1e-8)
     d.add_argument("--seed", type=int, default=0)
     d.add_argument("--workers", type=int, default=None,
-                   help="factorize on the parallel executor with N threads")
+                   help="factorize on the parallel executor with N threads "
+                        "(also parallelizes matrix assembly)")
+    d.add_argument("--compression", choices=["svd", "rsvd"], default="svd",
+                   help="compression backend: exact SVD or adaptive "
+                        "randomized SVD")
 
     t = sub.add_parser("tune", help="run the BAND_SIZE auto-tuner")
     t.add_argument("--n", type=int, default=4050)
@@ -267,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--seed", type=int, default=0)
     e.add_argument("--workers", type=int, default=None,
                    help="worker threads (default: cpu count)")
+    e.add_argument("--compression", choices=["svd", "rsvd"], default="svd",
+                   help="compression backend: exact SVD or adaptive "
+                        "randomized SVD")
     e.add_argument("--scheduler", choices=["priority", "fifo", "lifo"],
                    default="priority")
     e.add_argument("--compare-sequential", action="store_true",

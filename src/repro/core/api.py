@@ -66,6 +66,8 @@ class TLRSolver:
         band_size: int | str = "auto",
         fluctuation: float = 0.67,
         maxrank: int | None = None,
+        compression=None,
+        n_workers: int | None = None,
     ) -> "TLRSolver":
         """Compress a covariance problem, auto-tuning the dense band.
 
@@ -84,10 +86,26 @@ class TLRSolver:
         maxrank:
             Optional hard rank cap for compressions (HiCMA-Prev's static
             descriptor uses ``b/2``); ``None`` = uncapped dynamic ranks.
+        compression:
+            Compression backend: ``"svd"`` (exact, default), ``"rsvd"``
+            (adaptive randomized), or a
+            :class:`~repro.linalg.backends.CompressionBackend` instance.
+            Remembered by the matrix, so factorization recompressions use
+            the same numerics.
+        n_workers:
+            Thread count for *assembly* (tile generation + compression);
+            independent of the worker count later passed to
+            :meth:`factorize`.  Results are bitwise identical either way.
         """
         rule = TruncationRule(eps=accuracy, maxrank=maxrank)
         if band_size == "auto":
-            matrix = BandTLRMatrix.from_problem(problem, rule, band_size=1)
+            matrix = BandTLRMatrix.from_problem(
+                problem,
+                rule,
+                band_size=1,
+                backend=compression,
+                n_workers=n_workers,
+            )
             matrix, decision = autotune_matrix(
                 matrix, problem, fluctuation=fluctuation
             )
@@ -96,7 +114,13 @@ class TLRSolver:
             raise ConfigurationError(
                 f"band_size must be 'auto' or an int, got {band_size!r}"
             )
-        matrix = BandTLRMatrix.from_problem(problem, rule, band_size=band_size)
+        matrix = BandTLRMatrix.from_problem(
+            problem,
+            rule,
+            band_size=band_size,
+            backend=compression,
+            n_workers=n_workers,
+        )
         return cls(matrix=matrix, problem=problem)
 
     # ------------------------------------------------------------------

@@ -30,7 +30,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..linalg.compression import compress_block
 from ..linalg.flops import (
     flops_gemm_dense,
     flops_gemm_lr,
@@ -146,13 +145,15 @@ def apply_densification(
     nt = matrix.ntiles
     if plan.dense_mask.shape != (nt, nt):
         raise ConfigurationError("plan geometry does not match the matrix")
-    out = BandTLRMatrix(desc=matrix.desc, band_size=1, rule=matrix.rule)
+    out = BandTLRMatrix(
+        desc=matrix.desc, band_size=1, rule=matrix.rule, backend=matrix.backend
+    )
     for (i, j), tile in matrix.tiles.items():
         want_dense = bool(plan.dense_mask[i, j])
         if want_dense and isinstance(tile, LowRankTile):
             out.tiles[(i, j)] = DenseTile(problem.tile(i, j))
         elif not want_dense and isinstance(tile, DenseTile) and i != j:
-            out.tiles[(i, j)] = compress_block(tile.data, matrix.rule)
+            out.tiles[(i, j)] = out._compress(tile.data, i, j)
         else:
             out.tiles[(i, j)] = tile
     return out

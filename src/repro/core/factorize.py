@@ -61,6 +61,7 @@ def tlr_cholesky(
     rule: TruncationRule | None = None,
     adaptive_threshold: float | None = None,
     n_workers: int | None = None,
+    backend=None,
 ) -> FactorizationReport:
     """Factorize ``matrix`` in place into its lower Cholesky factor.
 
@@ -71,6 +72,9 @@ def tlr_cholesky(
     rule:
         Truncation rule for the low-rank updates; defaults to the
         matrix's compression rule.
+    backend:
+        Compression backend for the GEMM recompressions (instance,
+        registry name, or ``None`` to use the matrix's backend).
     adaptive_threshold:
         When set (a fraction of the tile size, e.g. ``0.5``), a compressed
         tile whose rank exceeds ``adaptive_threshold * b`` after a
@@ -96,6 +100,7 @@ def tlr_cholesky(
         threshold too loose relative to the matrix's conditioning).
     """
     rule = rule or matrix.rule
+    backend = backend if backend is not None else matrix.backend
     if adaptive_threshold is not None and not (0.0 < adaptive_threshold <= 1.0):
         raise ConfigurationError(
             f"adaptive_threshold must be in (0, 1], got {adaptive_threshold}"
@@ -106,7 +111,7 @@ def tlr_cholesky(
                 "adaptive_threshold requires the sequential path; "
                 "it cannot be combined with n_workers"
             )
-        return _tlr_cholesky_parallel(matrix, rule, n_workers)
+        return _tlr_cholesky_parallel(matrix, rule, n_workers, backend)
     nt = matrix.ntiles
     report = FactorizationReport()
 
@@ -150,6 +155,7 @@ def tlr_cholesky(
                     matrix.tile(m, n),
                     rule,
                     counter=report.counter,
+                    backend=backend,
                 )
                 if recomp is not None:
                     if recomp.grew:
@@ -164,7 +170,7 @@ def tlr_cholesky(
 
 
 def _tlr_cholesky_parallel(
-    matrix: BandTLRMatrix, rule: TruncationRule, n_workers: int
+    matrix: BandTLRMatrix, rule: TruncationRule, n_workers: int, backend=None
 ) -> FactorizationReport:
     """Run the factorization through the parallel graph executor.
 
@@ -185,7 +191,7 @@ def _tlr_cholesky_parallel(
         matrix.ntiles, matrix.band_size, matrix.desc.tile_size, rank_fn
     )
     run = execute_graph_parallel(
-        graph, matrix, rule=rule, n_workers=n_workers
+        graph, matrix, rule=rule, n_workers=n_workers, backend=backend
     )
     return FactorizationReport(
         counter=run.counter,

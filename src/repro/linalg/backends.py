@@ -1,0 +1,502 @@
+"""Pluggable compression backends: exact SVD and adaptive randomized SVD.
+
+Every (re)compression in the library routes through a
+:class:`CompressionBackend`, so the numerical engine behind
+:func:`~repro.linalg.compression.compress_block` /
+:func:`~repro.linalg.compression.recompress` can be swapped without
+touching the tile algorithms:
+
+* :class:`SVDBackend` (``"svd"``) — deterministic truncated ``gesdd``,
+  the paper's baseline and the library's historical behaviour;
+* :class:`RandomizedSVDBackend` (``"rsvd"``) — *adaptive randomized
+  approximation* (ARA) in the H2OPUS-TLR style: a blocked Gaussian range
+  finder grows the sample space until the ε tolerance of the
+  :class:`~repro.linalg.compression.TruncationRule` is certified, then a
+  small SVD of the projected tile produces the truncated factors.  Tiles
+  whose rank approaches the tile size fall back to the exact SVD (the
+  randomized scheme has no advantage there).
+
+The ε certificate is two-stage.  The Frobenius residual
+``||A - QQᵀA||_F² = ||A||_F² - ||B||_F²`` is tracked exactly and accepts
+immediately when it reaches ε (Frobenius bounds spectral from above).
+Because Matérn tails are flat, that bound alone over-samples badly for the
+``"spectral"`` rule, so once the Frobenius residual drops below
+``sqrt(min(m,n) - k) * ε`` — the point where a spectral residual of ε
+first becomes *possible* — the spectral norm of the residual is estimated
+with a few power-iterated Gaussian probes and compared to ε directly.
+The estimate is probabilistic (like all of ARA); the certified factors
+carry an error of order ε rather than a hard ε guarantee.
+
+Recompression (QR-QR-SVD rounding) is rank-deterministic and shared by
+both backends; what the backend adds there is a reusable workspace: the
+``(m, r)`` / ``(n, r)`` stacked factors of every low-rank GEMM are served
+from a :class:`~repro.runtime.memory_pool.MemoryPool` instead of fresh
+``hstack`` allocations — the Section VII-B memory designation applied to
+the kernel transients, not just the tile storage.
+
+Determinism: a :class:`RandomizedSVDBackend` seeded per tile (see
+:func:`tile_seed`) produces bit-identical factors for a given input, so
+parallel matrix assembly is reproducible across worker counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..utils.exceptions import CompressionError, ConfigurationError
+from ..utils.validation import check_matrix
+from .compression import (
+    RecompressionResult,
+    TruncationRule,
+    truncation_rank,
+)
+from .tiles import LowRankTile
+
+__all__ = [
+    "CompressionBackend",
+    "SVDBackend",
+    "RandomizedSVDBackend",
+    "RsvdConfig",
+    "get_backend",
+    "default_backend",
+    "set_default_backend",
+    "tile_seed",
+]
+
+
+def tile_seed(base: int, i: int, j: int) -> np.random.SeedSequence:
+    """Deterministic per-tile seed for randomized compression.
+
+    Derived from the backend's base seed and the tile coordinates only —
+    never from execution order — so a parallel matrix assembly produces
+    bit-identical tiles for any worker count.
+    """
+    return np.random.SeedSequence(entropy=base, spawn_key=(i, j))
+
+
+# ----------------------------------------------------------------------
+# Shared numerical cores
+# ----------------------------------------------------------------------
+def _svd_compress(a: np.ndarray, rule: TruncationRule) -> LowRankTile:
+    """Exact truncated SVD of a dense block (the ``gesdd`` fast path)."""
+    try:
+        u, s, vt = sla.svd(
+            a, full_matrices=False, lapack_driver="gesdd", check_finite=False
+        )
+    except sla.LinAlgError as exc:  # pragma: no cover - gesdd rarely fails
+        raise CompressionError(f"SVD failed during compression: {exc}") from exc
+    k = truncation_rank(s, rule)
+    if k == 0:
+        return LowRankTile.zero(*a.shape)
+    root = np.sqrt(s[:k])
+    return LowRankTile(u[:, :k] * root, vt[:k].T * root)
+
+
+def _qr_svd_recompress(
+    u_stack: np.ndarray,
+    v_stack: np.ndarray,
+    rule: TruncationRule,
+    previous_rank: int | None,
+    *,
+    overwrite: bool = False,
+) -> RecompressionResult:
+    """QR-QR-SVD rounding of ``u_stack @ v_stack.T`` (both backends).
+
+    With ``overwrite`` the QR factorizations are allowed to destroy the
+    stacked factors — safe when they live in a pooled workspace buffer
+    that is released right after.
+    """
+    r = u_stack.shape[1]
+    m, n = u_stack.shape[0], v_stack.shape[0]
+    if r == 0:
+        tile = LowRankTile.zero(m, n)
+        return RecompressionResult(tile, 0, 0, grew=False)
+    qu, ru = sla.qr(
+        u_stack, mode="economic", check_finite=False, overwrite_a=overwrite
+    )
+    qv, rv = sla.qr(
+        v_stack, mode="economic", check_finite=False, overwrite_a=overwrite
+    )
+    core = ru @ rv.T
+    try:
+        uc, s, vct = sla.svd(
+            core, full_matrices=False, lapack_driver="gesdd", check_finite=False
+        )
+    except sla.LinAlgError as exc:  # pragma: no cover
+        raise CompressionError(f"SVD failed during recompression: {exc}") from exc
+    k = truncation_rank(s, rule)
+    if k == 0:
+        tile = LowRankTile.zero(m, n)
+    else:
+        root = np.sqrt(s[:k])
+        tile = LowRankTile((qu @ uc[:, :k]) * root, (qv @ vct[:k].T) * root)
+    prev = r if previous_rank is None else previous_rank
+    return RecompressionResult(tile, rank_before=r, rank_after=k, grew=k > prev)
+
+
+class _StackWorkspace:
+    """Pool-backed buffers for the recompression stacks.
+
+    The pool import is deferred to first use: ``repro.runtime`` imports
+    :mod:`repro.linalg` at package load, so a module-level import here
+    would be circular.
+    """
+
+    def __init__(self) -> None:
+        from ..runtime.memory_pool import MemoryPool
+
+        self.pool = MemoryPool()
+        self._lock = threading.Lock()
+
+    def allocate(self, shape: tuple[int, ...]) -> np.ndarray:
+        with self._lock:
+            return self.pool.allocate(shape)
+
+    def release(self, buf: np.ndarray) -> None:
+        with self._lock:
+            self.pool.release(buf)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class CompressionBackend:
+    """Interface every compression engine implements.
+
+    Subclasses provide :meth:`compress`; recompression is the shared
+    QR-QR-SVD rounding with a pooled stack workspace.
+    """
+
+    #: Registry name (``"svd"``, ``"rsvd"``).
+    name: str = "base"
+    #: Base entropy for per-tile seeding (ignored by deterministic backends).
+    seed: int = 0
+
+    def __init__(self) -> None:
+        self._workspace: _StackWorkspace | None = None
+
+    # -- compression ---------------------------------------------------
+    def compress(
+        self, a: np.ndarray, rule: TruncationRule, *, seed=None
+    ) -> LowRankTile:
+        """Compress a dense block to a :class:`LowRankTile` under ``rule``.
+
+        ``seed`` (an int or :class:`numpy.random.SeedSequence`) pins the
+        randomness of stochastic backends; deterministic backends ignore it.
+        """
+        raise NotImplementedError
+
+    # -- recompression -------------------------------------------------
+    def recompress(
+        self,
+        u_stack: np.ndarray,
+        v_stack: np.ndarray,
+        rule: TruncationRule,
+        *,
+        previous_rank: int | None = None,
+    ) -> RecompressionResult:
+        """Round ``u_stack @ v_stack.T`` to ``rule`` (caller-owned stacks)."""
+        u_stack = check_matrix("u_stack", u_stack)
+        v_stack = check_matrix("v_stack", v_stack)
+        if v_stack.shape[1] != u_stack.shape[1]:
+            raise CompressionError(
+                f"stacked factor rank mismatch: U has {u_stack.shape[1]}, "
+                f"V has {v_stack.shape[1]}"
+            )
+        return _qr_svd_recompress(u_stack, v_stack, rule, previous_rank)
+
+    def recompress_update(
+        self,
+        c: LowRankTile,
+        u_upd: np.ndarray,
+        v_upd: np.ndarray,
+        rule: TruncationRule,
+    ) -> RecompressionResult:
+        """Round ``C - u_upd @ v_upd.T`` without allocating fresh stacks.
+
+        Stage 1 of the low-rank GEMM: the destination factors and the
+        (negated) update factors are packed into pooled workspace buffers;
+        stage 2 rounds them in place and releases the buffers.  This is
+        the hot path of the TLR GEMM — the workspace turns its two large
+        transient allocations per call into pool reuses.
+        """
+        kc, ku = c.rank, u_upd.shape[1]
+        r = kc + ku
+        m, n = c.shape
+        if r == 0:
+            return RecompressionResult(LowRankTile.zero(m, n), 0, 0, grew=False)
+        if self._workspace is None:
+            self._workspace = _StackWorkspace()
+        ws = self._workspace
+        us = ws.allocate((m, r))
+        vs = ws.allocate((n, r))
+        try:
+            us[:, :kc] = c.u
+            us[:, kc:] = u_upd
+            vs[:, :kc] = c.v
+            np.multiply(v_upd, -1.0, out=vs[:, kc:])
+            return _qr_svd_recompress(us, vs, rule, c.rank, overwrite=True)
+        finally:
+            ws.release(us)
+            ws.release(vs)
+
+    @property
+    def workspace_pool_stats(self):
+        """Stats of the stack workspace pool (``None`` before first use)."""
+        return None if self._workspace is None else self._workspace.pool.stats
+
+
+class SVDBackend(CompressionBackend):
+    """Deterministic exact truncated SVD (``gesdd``) — the baseline."""
+
+    name = "svd"
+
+    def compress(
+        self, a: np.ndarray, rule: TruncationRule, *, seed=None
+    ) -> LowRankTile:
+        a = check_matrix("a", a)
+        return _svd_compress(a, rule)
+
+
+@dataclass(frozen=True)
+class RsvdConfig:
+    """Tuning knobs of the adaptive randomized range finder.
+
+    Attributes
+    ----------
+    block_size:
+        Columns sampled per adaptive round; the first round's size.
+    block_growth:
+        Geometric growth of the round size (fewer passes for high-rank
+        tiles at the cost of mild over-sampling).
+    max_block:
+        Cap on the per-round sample size.
+    fallback_fraction:
+        When the sampled rank reaches this fraction of ``min(m, n)`` the
+        tile is near full rank and the exact SVD takes over.
+    min_exact_dim:
+        Tiles with ``min(m, n)`` at or below this skip the randomized
+        path entirely (LAPACK wins on small tiles).
+    probes:
+        Gaussian probe vectors for the spectral residual estimate.
+    probe_iters:
+        Power iterations applied to the probes (2 keeps the estimate
+        tight on the flat Matérn tails).
+    """
+
+    block_size: int = 32
+    block_growth: float = 1.5
+    max_block: int = 64
+    fallback_fraction: float = 0.5
+    min_exact_dim: int = 64
+    probes: int = 3
+    probe_iters: int = 2
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1 or self.max_block < self.block_size:
+            raise ConfigurationError(
+                f"need 1 <= block_size <= max_block, got "
+                f"{self.block_size}/{self.max_block}"
+            )
+        if self.block_growth < 1.0:
+            raise ConfigurationError(
+                f"block_growth must be >= 1, got {self.block_growth}"
+            )
+        if not (0.0 < self.fallback_fraction <= 1.0):
+            raise ConfigurationError(
+                f"fallback_fraction must be in (0, 1], got "
+                f"{self.fallback_fraction}"
+            )
+
+
+class RandomizedSVDBackend(CompressionBackend):
+    """Adaptive randomized SVD (H2OPUS-style ARA) with exact fallback.
+
+    The blocked Gaussian range finder samples ``Y = A @ Ω`` one block at a
+    time, orthogonalizes against the basis built so far, and appends; the
+    projected tile ``B = Qᵀ A`` is maintained incrementally so both the
+    Frobenius certificate and the final small SVD are cheap.  Rank grows
+    until the rule's ε is certified (module docstring), the rule's
+    ``maxrank`` is reached, or the tile proves near-full-rank and the
+    exact path takes over.
+    """
+
+    name = "rsvd"
+
+    def __init__(self, seed: int = 2021, config: RsvdConfig | None = None) -> None:
+        super().__init__()
+        self.seed = seed
+        self.config = config or RsvdConfig()
+
+    def compress(
+        self, a: np.ndarray, rule: TruncationRule, *, seed=None
+    ) -> LowRankTile:
+        a = check_matrix("a", a)
+        cfg = self.config
+        m, n = a.shape
+        mn = min(m, n)
+        if mn <= cfg.min_exact_dim:
+            return _svd_compress(a, rule)
+        max_rank = max(int(cfg.fallback_fraction * mn), 1)
+        rank_cap = mn if rule.maxrank is None else min(rule.maxrank, mn)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+
+        fro2 = float(np.einsum("ij,ij->", a, a))
+        if fro2 == 0.0:
+            return LowRankTile.zero(m, n)
+        # Threshold in the rule's own norm; the relative variant scales by
+        # the running σ₁ estimate from the projected tile.
+        tol_abs = rule.eps
+
+        kcap = min(max_rank + cfg.max_block, mn)
+        q_basis = np.empty((m, kcap))
+        b_proj = np.empty((kcap, n))
+        captured2 = 0.0
+        k = 0
+        p = cfg.block_size
+        while True:
+            p_eff = min(p, kcap - k)
+            omega = rng.standard_normal((n, p_eff))
+            y = a @ omega
+            if k:
+                qk, bk = q_basis[:, :k], b_proj[:k]
+                y -= qk @ (bk @ omega)  # (I - QQᵀ)AΩ via the projected tile
+                y -= qk @ (qk.T @ y)  # re-orthogonalize against roundoff
+            qb, _ = sla.qr(y, mode="economic", check_finite=False, overwrite_a=True)
+            bb = qb.T @ a
+            q_basis[:, k : k + p_eff] = qb
+            b_proj[k : k + p_eff] = bb
+            captured2 += float(np.einsum("ij,ij->", bb, bb))
+            k += p_eff
+
+            tol = tol_abs
+            if rule.relative:
+                # σ₁(B) ↑ σ₁(A); cheap on the small projected tile.
+                tol = tol_abs * float(np.linalg.norm(b_proj[:k], 2))
+            # ||A - QB||_F² = ||A||_F² - ||B||_F² in exact arithmetic, but
+            # the subtraction cancels catastrophically once the tail falls
+            # below ~sqrt(eps_mach)·||A||_F, so it is only a cheap *gate*:
+            # acceptance always goes through a cancellation-free check
+            # (implicit-residual probes for the spectral rule, an explicit
+            # residual for the Frobenius rule).  The gate opens at the
+            # rule's own threshold or at the cancellation floor, whichever
+            # is larger — below the floor the subtracted value is noise.
+            resid_f = float(np.sqrt(max(fro2 - captured2, 0.0)))
+            floor = 4.0e-8 * np.sqrt(fro2)
+            if rule.norm == "spectral":
+                # sqrt(mn-k)·tol is where a spectral residual of tol first
+                # becomes possible for this Frobenius tail.
+                if resid_f <= max(np.sqrt(mn - k) * tol, floor):
+                    est = self._spectral_estimate(
+                        a, q_basis[:, :k], b_proj[:k], rng
+                    )
+                    if est <= tol:
+                        break
+            elif resid_f <= max(tol, floor):
+                resid = a - q_basis[:, :k] @ b_proj[:k]
+                if np.sqrt(np.einsum("ij,ij->", resid, resid)) <= tol:
+                    break
+            if k >= rank_cap:
+                break  # rule.maxrank saturated: accuracy cap is void anyway
+            if k >= max_rank:
+                return _svd_compress(a, rule)  # near full rank
+            p = min(int(p * cfg.block_growth), cfg.max_block)
+
+        ub, s, vt = sla.svd(
+            b_proj[:k],
+            full_matrices=False,
+            lapack_driver="gesdd",
+            check_finite=False,
+        )
+        kk = truncation_rank(s, rule)
+        if kk == 0:
+            return LowRankTile.zero(m, n)
+        root = np.sqrt(s[:kk])
+        return LowRankTile(
+            (q_basis[:, :k] @ ub[:, :kk]) * root, vt[:kk].T * root
+        )
+
+    def _spectral_estimate(
+        self,
+        a: np.ndarray,
+        q_basis: np.ndarray,
+        b_proj: np.ndarray,
+        rng: np.random.Generator,
+    ) -> float:
+        """Power-probe estimate of ``||A - QB||_2``.
+
+        The residual is applied implicitly as ``R x = A x - Q (B x)`` —
+        mat-vec cancellation is benign (absolute error ~eps_mach·||A||,
+        far below the ~tol·||A|| signal), unlike the scalar Frobenius
+        subtraction.  A handful of Gaussian probes driven through a couple
+        of power iterations converge onto the residual's top singular
+        value (flat residual spectra — the hard case for the estimate's
+        accuracy — are exactly the case where every estimate is ≈ σ₁
+        anyway).
+        """
+        cfg = self.config
+        x = rng.standard_normal((a.shape[1], cfg.probes))
+        x = a @ x - q_basis @ (b_proj @ x)
+        est = 0.0
+        for _ in range(cfg.probe_iters):
+            z = a.T @ x - b_proj.T @ (q_basis.T @ x)
+            x = a @ z - q_basis @ (b_proj @ z)
+            nz = np.linalg.norm(z, axis=0)
+            nx = np.linalg.norm(x, axis=0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                ratios = np.where(nz > 0.0, nx / np.where(nz > 0.0, nz, 1.0), 0.0)
+            est = float(np.max(ratios))
+        return est
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_BACKENDS: dict[str, type[CompressionBackend]] = {
+    SVDBackend.name: SVDBackend,
+    RandomizedSVDBackend.name: RandomizedSVDBackend,
+}
+_instances: dict[str, CompressionBackend] = {}
+_default: list[str] = ["svd"]
+
+
+def get_backend(
+    spec: str | CompressionBackend | None = None,
+) -> CompressionBackend:
+    """Resolve a backend spec: an instance, a registry name, or ``None``.
+
+    ``None`` resolves to the process default (``"svd"`` unless changed by
+    :func:`set_default_backend`).  Named lookups return a shared instance.
+    """
+    if spec is None:
+        spec = _default[0]
+    if isinstance(spec, CompressionBackend):
+        return spec
+    try:
+        cls = _BACKENDS[spec]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown compression backend {spec!r}; "
+            f"available: {sorted(_BACKENDS)}"
+        ) from None
+    if spec not in _instances:
+        _instances[spec] = cls()
+    return _instances[spec]
+
+
+def default_backend() -> CompressionBackend:
+    """The process-wide default backend instance."""
+    return get_backend(_default[0])
+
+
+def set_default_backend(spec: str | CompressionBackend) -> CompressionBackend:
+    """Set (and return) the process-wide default backend."""
+    backend = get_backend(spec)
+    if isinstance(spec, CompressionBackend):
+        _instances[backend.name] = backend
+    _default[0] = backend.name
+    return backend

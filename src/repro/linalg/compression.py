@@ -17,6 +17,13 @@ QR-QR-SVD scheme: QR-factor the stacked U and V blocks, SVD the small
 exactly this recompression boundary to reallocate tile memory when the rank
 grows (Section VII-B); :func:`recompress` therefore reports the pre- and
 post-recompression ranks so the memory pool can be driven faithfully.
+
+The numerics behind both operations live in pluggable *backends*
+(:mod:`repro.linalg.backends`): ``"svd"`` is the deterministic truncated
+SVD described above, ``"rsvd"`` an adaptive randomized SVD that certifies
+the same ε.  :func:`compress_block`, :func:`compress_tile` and
+:func:`recompress` dispatch to a backend (default ``"svd"``), so existing
+call sites keep their exact historical behaviour.
 """
 
 from __future__ import annotations
@@ -24,10 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.linalg as sla
 
-from ..utils.exceptions import CompressionError, ConfigurationError
-from ..utils.validation import check_in, check_matrix, check_positive_float
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_in, check_positive_float
 from .tiles import DenseTile, LowRankTile
 
 __all__ = [
@@ -96,28 +102,37 @@ def truncation_rank(singular_values: np.ndarray, rule: TruncationRule) -> int:
     return k
 
 
-def compress_block(a: np.ndarray, rule: TruncationRule) -> LowRankTile:
-    """Compress a dense block into a :class:`LowRankTile` via truncated SVD.
+def compress_block(
+    a: np.ndarray,
+    rule: TruncationRule,
+    *,
+    backend=None,
+    seed=None,
+) -> LowRankTile:
+    """Compress a dense block into a :class:`LowRankTile`.
 
-    The singular values are folded symmetrically into both factors
-    (``U = U_s * sqrt(s)``, ``V = V_s * sqrt(s)``) to balance their norms —
-    this keeps downstream QR recompressions well-conditioned.
+    Dispatches to a :class:`~repro.linalg.backends.CompressionBackend`
+    (an instance, a registry name like ``"rsvd"``, or ``None`` for the
+    default exact SVD).  The singular values are folded symmetrically
+    into both factors (``U = U_s * sqrt(s)``, ``V = V_s * sqrt(s)``) to
+    balance their norms — this keeps downstream QR recompressions
+    well-conditioned.  ``seed`` pins the randomness of stochastic
+    backends (deterministic ones ignore it).
     """
-    a = check_matrix("a", a)
-    try:
-        u, s, vt = sla.svd(a, full_matrices=False, lapack_driver="gesdd")
-    except sla.LinAlgError as exc:  # pragma: no cover - gesdd rarely fails
-        raise CompressionError(f"SVD failed during compression: {exc}") from exc
-    k = truncation_rank(s, rule)
-    if k == 0:
-        return LowRankTile.zero(*a.shape)
-    root = np.sqrt(s[:k])
-    return LowRankTile(u[:, :k] * root, vt[:k].T * root)
+    from .backends import get_backend
+
+    return get_backend(backend).compress(a, rule, seed=seed)
 
 
-def compress_tile(tile: DenseTile, rule: TruncationRule) -> LowRankTile:
+def compress_tile(
+    tile: DenseTile,
+    rule: TruncationRule,
+    *,
+    backend=None,
+    seed=None,
+) -> LowRankTile:
     """Compress a :class:`DenseTile` (convenience wrapper)."""
-    return compress_block(tile.data, rule)
+    return compress_block(tile.data, rule, backend=backend, seed=seed)
 
 
 @dataclass
@@ -151,6 +166,7 @@ def recompress(
     rule: TruncationRule,
     *,
     previous_rank: int | None = None,
+    backend=None,
 ) -> RecompressionResult:
     """Round a low-rank representation ``u_stack @ v_stack.T`` to ``rule``.
 
@@ -165,38 +181,16 @@ def recompress(
     previous_rank:
         Rank of the destination tile before the update, used to flag rank
         growth; defaults to ``r`` (never flags growth).
+    backend:
+        Compression backend (instance, registry name, or ``None`` for the
+        default); all backends share the QR-QR-SVD rounding scheme.
 
     Returns
     -------
     RecompressionResult
     """
-    u_stack = check_matrix("u_stack", u_stack)
-    v_stack = check_matrix("v_stack", v_stack)
-    r = u_stack.shape[1]
-    if v_stack.shape[1] != r:
-        raise CompressionError(
-            f"stacked factor rank mismatch: U has {r}, V has {v_stack.shape[1]}"
-        )
-    m, n = u_stack.shape[0], v_stack.shape[0]
-    if r == 0:
-        tile = LowRankTile.zero(m, n)
-        return RecompressionResult(tile, 0, 0, grew=False)
+    from .backends import get_backend
 
-    # QR of both stacks; 'economic' keeps the small cores r x r.
-    qu, ru = sla.qr(u_stack, mode="economic")
-    qv, rv = sla.qr(v_stack, mode="economic")
-    core = ru @ rv.T
-    try:
-        uc, s, vct = sla.svd(core, full_matrices=False, lapack_driver="gesdd")
-    except sla.LinAlgError as exc:  # pragma: no cover
-        raise CompressionError(f"SVD failed during recompression: {exc}") from exc
-
-    k = truncation_rank(s, rule)
-    if k == 0:
-        tile = LowRankTile.zero(m, n)
-    else:
-        root = np.sqrt(s[:k])
-        tile = LowRankTile((qu @ uc[:, :k]) * root, (qv @ vct[:k].T) * root)
-
-    prev = r if previous_rank is None else previous_rank
-    return RecompressionResult(tile, rank_before=r, rank_after=k, grew=k > prev)
+    return get_backend(backend).recompress(
+        u_stack, v_stack, rule, previous_rank=previous_rank
+    )

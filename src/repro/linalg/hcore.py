@@ -25,7 +25,8 @@ import numpy as np
 import scipy.linalg as sla
 
 from ..utils.exceptions import KernelError, NotPositiveDefiniteError
-from .compression import RecompressionResult, TruncationRule, recompress
+from .backends import get_backend
+from .compression import RecompressionResult, TruncationRule
 from .flops import (
     FlopCounter,
     KernelClass,
@@ -88,7 +89,10 @@ def potrf_dense(
         raise NotPositiveDefiniteError(
             f"POTRF failed on tile {tile_index}: {exc}", tile_index
         ) from exc
-    c.data[...] = np.tril(l)
+    # LAPACK's potrf already leaves the other triangle zeroed in scipy's
+    # copy, so a plain assignment suffices — np.tril(l) here would build a
+    # full b x b temporary on the critical path for nothing.
+    c.data[...] = l
     _count(counter, KernelClass.POTRF_DENSE, flops_potrf_dense(c.shape[0]))
     return c
 
@@ -216,15 +220,6 @@ def gemm_dense_lrlr(
 # GEMMs writing into a low-rank C (regions 5 and 6) — two-stage with
 # recompression at the memory-designation boundary
 # ----------------------------------------------------------------------
-def _lr_update_stacks(
-    c: LowRankTile, u_upd: np.ndarray, v_upd: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Stage 1 of an LR GEMM: stack ``C - u_upd v_upd^T`` factors."""
-    u_stack = np.hstack([c.u, u_upd])
-    v_stack = np.hstack([c.v, -v_upd])
-    return u_stack, v_stack
-
-
 def gemm_lr_dense(
     a: LowRankTile,
     b: DenseTile,
@@ -232,19 +227,19 @@ def gemm_lr_dense(
     rule: TruncationRule,
     *,
     counter: FlopCounter | None = None,
+    backend=None,
 ) -> tuple[LowRankTile, RecompressionResult]:
     """(5)-GEMM (new) — low-rank C, low-rank A, dense B.
 
     ``A B^T = U_A (B V_A)^T`` is a rank-``k_A`` update; it is stacked onto
-    C (stage 1) and recompressed (stage 2).  The returned
-    :class:`RecompressionResult` carries the rank-growth flag that drives
-    the dynamic memory pool.
+    C (stage 1, inside the backend's pooled workspace) and recompressed
+    (stage 2).  The returned :class:`RecompressionResult` carries the
+    rank-growth flag that drives the dynamic memory pool.
     """
     k = a.rank
     u_upd = a.u
     v_upd = b.data @ a.v if k > 0 else np.zeros((b.shape[0], 0))
-    u_stack, v_stack = _lr_update_stacks(c, u_upd, v_upd)
-    res = recompress(u_stack, v_stack, rule, previous_rank=c.rank)
+    res = get_backend(backend).recompress_update(c, u_upd, v_upd, rule)
     _count(
         counter,
         KernelClass.GEMM_LR_DENSE,
@@ -260,11 +255,12 @@ def gemm_lr(
     rule: TruncationRule,
     *,
     counter: FlopCounter | None = None,
+    backend=None,
 ) -> tuple[LowRankTile, RecompressionResult]:
     """(6)-GEMM — all three tiles low-rank (HCORE_DGEMM).
 
     ``A B^T = (U_A (V_A^T V_B)) U_B^T`` is a rank-``k_B`` update; stacked
-    onto C and recompressed.
+    onto C and recompressed through the backend's pooled workspace.
     """
     if a.rank > 0 and b.rank > 0:
         w = a.v.T @ b.v
@@ -273,8 +269,7 @@ def gemm_lr(
     else:
         u_upd = np.zeros((c.shape[0], 0))
         v_upd = np.zeros((c.shape[1], 0))
-    u_stack, v_stack = _lr_update_stacks(c, u_upd, v_upd)
-    res = recompress(u_stack, v_stack, rule, previous_rank=c.rank)
+    res = get_backend(backend).recompress_update(c, u_upd, v_upd, rule)
     _count(
         counter,
         KernelClass.GEMM_LR,
@@ -319,11 +314,14 @@ def gemm_auto(
     rule: TruncationRule,
     *,
     counter: FlopCounter | None = None,
+    backend=None,
 ) -> tuple[Tile, KernelClass, RecompressionResult | None]:
     """Dispatch ``C <- C - A B^T`` on the formats of all three tiles.
 
     Returns the (possibly new) destination tile, the kernel class that ran,
     and the recompression result for low-rank destinations (else ``None``).
+    ``backend`` selects the compression backend used for the recompression
+    of low-rank destinations (dense destinations never recompress).
     """
     if isinstance(c, DenseTile):
         if isinstance(a, DenseTile) and isinstance(b, DenseTile):
@@ -341,7 +339,7 @@ def gemm_auto(
         )
     # Low-rank destination
     if isinstance(a, LowRankTile) and isinstance(b, DenseTile):
-        tile, res = gemm_lr_dense(a, b, c, rule, counter=counter)
+        tile, res = gemm_lr_dense(a, b, c, rule, counter=counter, backend=backend)
         return tile, KernelClass.GEMM_LR_DENSE, res
     if isinstance(a, DenseTile) and isinstance(b, LowRankTile):
         # Mirror case (upper-triangular variants); reuse (5)-GEMM by symmetry:
@@ -349,8 +347,7 @@ def gemm_auto(
         k = b.rank
         u_upd = a.data @ b.v if k > 0 else np.zeros((a.shape[0], 0))
         v_upd = b.u
-        u_stack, v_stack = _lr_update_stacks(c, u_upd, v_upd)
-        res = recompress(u_stack, v_stack, rule, previous_rank=c.rank)
+        res = get_backend(backend).recompress_update(c, u_upd, v_upd, rule)
         _count(
             counter,
             KernelClass.GEMM_LR_DENSE,
@@ -358,7 +355,7 @@ def gemm_auto(
         )
         return res.tile, KernelClass.GEMM_LR_DENSE, res
     if isinstance(a, LowRankTile) and isinstance(b, LowRankTile):
-        tile, res = gemm_lr(a, b, c, rule, counter=counter)
+        tile, res = gemm_lr(a, b, c, rule, counter=counter, backend=backend)
         return tile, KernelClass.GEMM_LR, res
     raise KernelError(
         "unsupported GEMM operand combination: "

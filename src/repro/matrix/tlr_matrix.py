@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..linalg.compression import TruncationRule, compress_block
+from ..linalg.backends import CompressionBackend, get_backend, tile_seed
+from ..linalg.compression import TruncationRule
 from ..linalg.tiles import DenseTile, LowRankTile, Tile
 from ..statistics.problem import CovarianceProblem
 from ..utils.exceptions import ConfigurationError
@@ -48,15 +49,34 @@ class BandTLRMatrix:
         Truncation rule used for off-band tiles.
     tiles:
         Mapping ``(i, j) -> Tile`` over the lower triangle ``i >= j``.
+    backend:
+        Compression backend used for off-band tiles (and remembered so
+        :meth:`with_band_size` and factorizations recompress with the
+        same numerics); ``None`` means the process default (exact SVD).
     """
 
     desc: TileDescriptor
     band_size: int
     rule: TruncationRule
     tiles: dict[tuple[int, int], Tile] = field(default_factory=dict)
+    backend: CompressionBackend | None = None
 
     def __post_init__(self) -> None:
         check_positive_int("band_size", self.band_size)
+        if self.backend is not None:
+            self.backend = get_backend(self.backend)
+
+    def _compress(self, block: np.ndarray, i: int, j: int) -> LowRankTile:
+        """Compress one off-band block with the matrix's backend.
+
+        The seed is derived from the tile coordinates alone, so parallel
+        assembly with a randomized backend stays bitwise reproducible
+        across worker counts.
+        """
+        backend = get_backend(self.backend)
+        return backend.compress(
+            block, self.rule, seed=tile_seed(backend.seed, i, j)
+        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -67,22 +87,30 @@ class BandTLRMatrix:
         problem: CovarianceProblem,
         rule: TruncationRule,
         band_size: int = 1,
+        *,
+        backend: CompressionBackend | str | None = None,
+        n_workers: int | None = None,
     ) -> "BandTLRMatrix":
         """Generate + compress a covariance problem into tile storage.
 
         On-band tiles are generated dense; off-band tiles are generated
         dense then immediately compressed and the dense buffer dropped —
         the STARS-H -> HiCMA streaming pipeline, which never holds the full
-        dense matrix.
+        dense matrix.  Tiles are independent, so generation + compression
+        fans out over ``n_workers`` threads; per-tile compression seeds
+        make the result bitwise identical for every worker count.
         """
         desc = TileDescriptor(problem.n, problem.tile_size)
-        mat = cls(desc=desc, band_size=band_size, rule=rule)
-        for i, j in desc.lower_tiles():
+        mat = cls(desc=desc, band_size=band_size, rule=rule, backend=backend)
+
+        def build(ij: tuple[int, int]) -> Tile:
+            i, j = ij
             block = problem.tile(i, j)
             if desc.on_band(i, j, band_size):
-                mat.tiles[(i, j)] = DenseTile(block)
-            else:
-                mat.tiles[(i, j)] = compress_block(block, rule)
+                return DenseTile(block)
+            return mat._compress(block, i, j)
+
+        mat._assemble(build, n_workers)
         return mat
 
     @classmethod
@@ -92,20 +120,36 @@ class BandTLRMatrix:
         tile_size: int,
         rule: TruncationRule,
         band_size: int = 1,
+        *,
+        backend: CompressionBackend | str | None = None,
+        n_workers: int | None = None,
     ) -> "BandTLRMatrix":
         """Tile + compress an explicit dense symmetric matrix (tests, demos)."""
         a = np.asarray(a, dtype=np.float64)
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ConfigurationError(f"matrix must be square, got {a.shape}")
         desc = TileDescriptor(a.shape[0], tile_size)
-        mat = cls(desc=desc, band_size=band_size, rule=rule)
-        for i, j in desc.lower_tiles():
+        mat = cls(desc=desc, band_size=band_size, rule=rule, backend=backend)
+
+        def build(ij: tuple[int, int]) -> Tile:
+            i, j = ij
             block = a[desc.tile_slice(i), desc.tile_slice(j)].copy()
             if desc.on_band(i, j, band_size):
-                mat.tiles[(i, j)] = DenseTile(block)
-            else:
-                mat.tiles[(i, j)] = compress_block(block, rule)
+                return DenseTile(block)
+            return mat._compress(block, i, j)
+
+        mat._assemble(build, n_workers)
         return mat
+
+    def _assemble(self, build, n_workers: int | None) -> None:
+        """Fill ``self.tiles`` by mapping ``build`` over the lower triangle."""
+        # Lazy import: repro.runtime's package init pulls in modules that
+        # import this one.
+        from ..runtime.workpool import parallel_map
+
+        coords = list(self.desc.lower_tiles())
+        for ij, tile in zip(coords, parallel_map(build, coords, n_workers)):
+            self.tiles[ij] = tile
 
     # ------------------------------------------------------------------
     # Access
@@ -205,13 +249,18 @@ class BandTLRMatrix:
             raise ConfigurationError(
                 "problem geometry does not match the matrix descriptor"
             )
-        out = BandTLRMatrix(desc=self.desc, band_size=band_size, rule=self.rule)
+        out = BandTLRMatrix(
+            desc=self.desc,
+            band_size=band_size,
+            rule=self.rule,
+            backend=self.backend,
+        )
         for (i, j), tile in self.tiles.items():
             now_banded = self.desc.on_band(i, j, band_size)
             if now_banded and isinstance(tile, LowRankTile):
                 out.tiles[(i, j)] = DenseTile(problem.tile(i, j))
             elif not now_banded and isinstance(tile, DenseTile):
-                out.tiles[(i, j)] = compress_block(tile.data, self.rule)
+                out.tiles[(i, j)] = out._compress(tile.data, i, j)
             else:
                 out.tiles[(i, j)] = tile
         return out
@@ -237,7 +286,12 @@ class BandTLRMatrix:
 
     def copy(self) -> "BandTLRMatrix":
         """Deep copy (tiles included)."""
-        out = BandTLRMatrix(desc=self.desc, band_size=self.band_size, rule=self.rule)
+        out = BandTLRMatrix(
+            desc=self.desc,
+            band_size=self.band_size,
+            rule=self.rule,
+            backend=self.backend,
+        )
         out.tiles = {ij: t.copy() for ij, t in self.tiles.items()}
         return out
 

@@ -18,6 +18,7 @@ from .parallel import (
 from .simulator import CommStats, SimResult, simulate
 from .solve_graph import SolveKind, build_solve_graph
 from .task import Edge, EdgeKind, Task, TaskKind, task_sort_key
+from .workpool import parallel_map
 
 __all__ = [
     "Access",
@@ -58,4 +59,5 @@ __all__ = [
     "Edge",
     "EdgeKind",
     "task_sort_key",
+    "parallel_map",
 ]

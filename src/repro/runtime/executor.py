@@ -69,6 +69,7 @@ def execute_graph(
     *,
     rule: TruncationRule | None = None,
     use_pool: bool = True,
+    backend=None,
 ) -> ExecutionReport:
     """Execute a (non-expanded) Cholesky task graph on ``matrix`` in place.
 
@@ -87,6 +88,9 @@ def execute_graph(
     use_pool:
         Re-associate recompression outputs with the pool (exercises the
         dynamic-memory path; disable for pure-numerics runs).
+    backend:
+        Compression backend for GEMM recompressions; defaults to the
+        matrix's backend.
 
     Returns
     -------
@@ -102,6 +106,7 @@ def execute_graph(
             f"matrix band_size={matrix.band_size}"
         )
     rule = rule or matrix.rule
+    backend = backend if backend is not None else matrix.backend
     report = ExecutionReport()
     report.tracker.register_matrix(matrix)
     pooled: set[int] = set()  # ids of factor arrays owned by the pool
@@ -138,6 +143,7 @@ def execute_graph(
                 matrix.tile(m, n),
                 rule,
                 counter=report.counter,
+                backend=backend,
             )
             if recomp is not None:
                 bm, bn = out.shape

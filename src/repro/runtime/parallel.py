@@ -172,6 +172,7 @@ def execute_graph_parallel(
     use_pool: bool = True,
     scheduler: str = "priority",
     collect_trace: bool = False,
+    backend=None,
 ) -> ParallelExecutionReport:
     """Execute a (non-expanded) Cholesky task graph on worker threads.
 
@@ -237,6 +238,7 @@ def execute_graph_parallel(
             )
 
     rule = rule or matrix.rule
+    backend = backend if backend is not None else matrix.backend
     report = ParallelExecutionReport(n_workers=n_workers)
     report.tracker.register_matrix(matrix)
     report.total_flops = graph.total_flops()
@@ -313,6 +315,7 @@ def execute_graph_parallel(
                     matrix.tile(m, n),
                     rule,
                     counter=report.counter,
+                    backend=backend,
                 )
                 if recomp is not None:
                     bm, bn = out.shape

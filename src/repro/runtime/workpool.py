@@ -1,0 +1,67 @@
+"""A flat thread pool for embarrassingly-parallel tile work.
+
+The Cholesky executor (:mod:`repro.runtime.parallel`) needs a
+dependency-driven pool; matrix *assembly* does not — every tile is
+generated and compressed independently.  :func:`parallel_map` covers that
+case with the same hand-rolled thread style as the PR-1 executor: worker
+threads pull item indices from a shared cursor, results land in item
+order, and the first worker exception is re-raised in the caller.
+
+NumPy/SciPy release the GIL inside BLAS/LAPACK, so tile generation and
+SVD/rsvd compression genuinely overlap across threads.  Determinism is
+the caller's job: work submitted here must not depend on execution order
+(the matrix builders achieve this with per-tile seeds).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Sequence
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    n_workers: int | None = None,
+):
+    """Apply ``fn`` to every item on ``n_workers`` threads, keeping order.
+
+    ``n_workers`` of ``None``, 0 or 1 runs serially in the calling thread
+    (no pool overhead, identical results).  If any call raises, the first
+    exception (in item order) propagates and remaining items may be
+    skipped.
+    """
+    items = list(items)
+    if n_workers is None or n_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    n_workers = min(n_workers, len(items))
+    results = [None] * len(items)
+    errors: list[tuple[int, BaseException]] = []
+    cursor = [0]
+    lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if errors or cursor[0] >= len(items):
+                    return
+                idx = cursor[0]
+                cursor[0] += 1
+            try:
+                results[idx] = fn(items[idx])
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with lock:
+                    errors.append((idx, exc))
+                return
+
+    threads = [threading.Thread(target=worker) for _ in range(n_workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise min(errors)[1]
+    return results

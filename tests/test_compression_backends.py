@@ -1,0 +1,310 @@
+"""Tests for the pluggable compression backends and parallel assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import st_3d_exp_problem
+from repro.linalg import (
+    RandomizedSVDBackend,
+    RsvdConfig,
+    SVDBackend,
+    TruncationRule,
+    compress_block,
+    get_backend,
+    recompress,
+    set_default_backend,
+    tile_seed,
+)
+from repro.matrix import BandTLRMatrix
+from repro.runtime import parallel_map
+from repro.utils import CompressionError, ConfigurationError
+
+
+def _matern_tile(n, b, i, j, seed=0):
+    """An off-diagonal tile of the st-3D-exp covariance (genuinely low-rank)."""
+    return st_3d_exp_problem(n, b, seed=seed).tile(i, j)
+
+
+def _lowrank_matrix(m, n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, k)) @ rng.standard_normal((k, n))
+
+
+class TestRegistry:
+    def test_names_resolve_to_shared_instances(self):
+        assert get_backend("svd") is get_backend("svd")
+        assert get_backend("rsvd") is get_backend("rsvd")
+        assert isinstance(get_backend("svd"), SVDBackend)
+        assert isinstance(get_backend("rsvd"), RandomizedSVDBackend)
+
+    def test_instance_passthrough(self):
+        b = RandomizedSVDBackend(seed=7)
+        assert get_backend(b) is b
+
+    def test_default_is_svd(self):
+        assert get_backend(None).name == "svd"
+
+    def test_set_default_backend_roundtrip(self):
+        try:
+            set_default_backend("rsvd")
+            assert get_backend(None).name == "rsvd"
+        finally:
+            set_default_backend("svd")
+        assert get_backend(None).name == "svd"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("rrqr")
+
+
+class TestRsvdConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RsvdConfig(block_size=0)
+        with pytest.raises(ConfigurationError):
+            RsvdConfig(block_size=32, max_block=16)
+        with pytest.raises(ConfigurationError):
+            RsvdConfig(block_growth=0.5)
+        with pytest.raises(ConfigurationError):
+            RsvdConfig(fallback_fraction=0.0)
+
+
+class TestRsvdAccuracy:
+    @pytest.mark.parametrize("b", [100, 150, 250])
+    @pytest.mark.parametrize("eps", [1e-4, 1e-6, 1e-8])
+    def test_matches_exact_svd_within_eps_on_matern(self, b, eps):
+        a = _matern_tile(4 * b, b, 3, 0, seed=2021)
+        rule = TruncationRule(eps=eps)
+        exact = compress_block(a, rule)
+        rand = compress_block(a, rule, backend="rsvd")
+        # Both reconstructions honour the spectral-norm bound (the rsvd
+        # certificate is probabilistic, so allow a small slack factor).
+        assert np.linalg.norm(a - exact.to_dense(), 2) <= eps
+        assert np.linalg.norm(a - rand.to_dense(), 2) <= 3.0 * eps
+        # And the adaptive rank lands at (essentially) the exact rank.
+        assert abs(rand.rank - exact.rank) <= 2
+
+    def test_relative_rule(self):
+        a = 1e6 * _matern_tile(400, 100, 2, 0, seed=5)
+        rule = TruncationRule(eps=1e-6, relative=True)
+        tile = compress_block(a, rule, backend="rsvd")
+        s1 = np.linalg.norm(a, 2)
+        assert np.linalg.norm(a - tile.to_dense(), 2) <= 3e-6 * s1
+
+    def test_frobenius_rule(self):
+        a = _matern_tile(400, 100, 2, 0, seed=5)
+        rule = TruncationRule(eps=1e-6, norm="frobenius")
+        tile = compress_block(a, rule, backend="rsvd")
+        assert np.linalg.norm(a - tile.to_dense()) <= 3e-6
+
+    def test_maxrank_cap_respected(self):
+        a = _matern_tile(400, 100, 2, 0, seed=5)
+        rule = TruncationRule(eps=1e-12, maxrank=10)
+        tile = compress_block(a, rule, backend="rsvd")
+        assert tile.rank <= 10
+
+    def test_full_rank_matrix_falls_back_to_exact(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((120, 120))  # no decay: must fall back
+        rule = TruncationRule(eps=1e-8)
+        tile = compress_block(a, rule, backend="rsvd")
+        exact = compress_block(a, rule)
+        assert tile.rank == exact.rank
+        np.testing.assert_allclose(tile.to_dense(), a, atol=1e-7)
+
+    def test_small_tiles_short_circuit_to_exact(self):
+        a = _lowrank_matrix(40, 40, 5, seed=1)
+        exact = compress_block(a, TruncationRule(eps=1e-8))
+        rand = compress_block(a, TruncationRule(eps=1e-8), backend="rsvd")
+        # min(m, n) <= min_exact_dim: identical code path, identical result.
+        np.testing.assert_array_equal(rand.u, exact.u)
+        np.testing.assert_array_equal(rand.v, exact.v)
+
+    def test_zero_matrix(self):
+        tile = compress_block(
+            np.zeros((128, 128)), TruncationRule(eps=1e-8), backend="rsvd"
+        )
+        assert tile.rank == 0
+
+    def test_seed_reproducibility(self):
+        a = _matern_tile(400, 100, 2, 0, seed=9)
+        rule = TruncationRule(eps=1e-6)
+        t1 = compress_block(a, rule, backend="rsvd", seed=42)
+        t2 = compress_block(a, rule, backend="rsvd", seed=42)
+        np.testing.assert_array_equal(t1.u, t2.u)
+        np.testing.assert_array_equal(t1.v, t2.v)
+
+    @pytest.mark.slow
+    @settings(max_examples=10, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_exactly_lowrank_inputs_recovered(self, k, seed):
+        a = _lowrank_matrix(130, 110, k, seed=seed)
+        rule = TruncationRule(eps=1e-8, relative=True)
+        tile = compress_block(a, rule, backend="rsvd", seed=seed)
+        assert tile.rank <= k
+        err = np.linalg.norm(a - tile.to_dense(), 2)
+        assert err <= 1e-6 * np.linalg.norm(a, 2)
+
+
+class TestBackendRecompression:
+    def test_matches_legacy_recompress(self):
+        rng = np.random.default_rng(3)
+        u = rng.standard_normal((80, 12))
+        v = rng.standard_normal((80, 12))
+        rule = TruncationRule(eps=1e-8)
+        res_fn = recompress(u, v, rule, previous_rank=5)
+        res_be = get_backend("svd").recompress(u, v, rule, previous_rank=5)
+        np.testing.assert_array_equal(res_fn.tile.u, res_be.tile.u)
+        assert res_fn.rank_before == res_be.rank_before == 12
+        assert res_fn.grew and res_be.grew
+
+    def test_rank_mismatch_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(CompressionError):
+            recompress(
+                rng.standard_normal((10, 3)),
+                rng.standard_normal((10, 4)),
+                TruncationRule(),
+            )
+
+    def test_recompress_update_equals_stacked_recompress(self):
+        rng = np.random.default_rng(4)
+        backend = SVDBackend()
+        rule = TruncationRule(eps=1e-10)
+        c = compress_block(_lowrank_matrix(60, 60, 6, seed=1), rule)
+        u_upd = rng.standard_normal((60, 4))
+        v_upd = rng.standard_normal((60, 4))
+        res = backend.recompress_update(c, u_upd, v_upd, rule)
+        ref = recompress(
+            np.hstack([c.u, u_upd]),
+            np.hstack([c.v, -v_upd]),
+            rule,
+            previous_rank=c.rank,
+        )
+        np.testing.assert_allclose(
+            res.tile.to_dense(), ref.tile.to_dense(), atol=1e-12
+        )
+        assert res.rank_before == ref.rank_before
+        assert res.rank_after == ref.rank_after
+
+    def test_workspace_pool_is_reused(self):
+        backend = SVDBackend()
+        rule = TruncationRule(eps=1e-10)
+        c = compress_block(_lowrank_matrix(60, 60, 6, seed=1), rule)
+        rng = np.random.default_rng(5)
+        for _ in range(5):  # same shapes -> free-list hits after round 1
+            backend.recompress_update(
+                c, rng.standard_normal((60, 4)), rng.standard_normal((60, 4)), rule
+            )
+        stats = backend.workspace_pool_stats
+        assert stats is not None
+        assert stats.reuses >= 8  # 2 buffers x 4 repeat rounds
+        assert stats.outstanding_bytes == 0
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        out = parallel_map(lambda x: x * x, list(range(50)), n_workers=4)
+        assert out == [x * x for x in range(50)]
+
+    def test_serial_path(self):
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], n_workers=None) == [2, 3, 4]
+        assert parallel_map(lambda x: x + 1, [], n_workers=8) == []
+
+    def test_propagates_exceptions(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("item 3")
+            return x
+
+        with pytest.raises(ValueError, match="item 3"):
+            parallel_map(boom, list(range(8)), n_workers=3)
+
+
+class TestParallelAssembly:
+    @pytest.mark.parametrize("backend", ["svd", "rsvd"])
+    def test_from_problem_bitwise_across_worker_counts(self, backend):
+        problem = st_3d_exp_problem(600, 100, seed=2021)
+        rule = TruncationRule(eps=1e-6)
+        mats = [
+            BandTLRMatrix.from_problem(
+                problem, rule, band_size=2, backend=backend, n_workers=w
+            )
+            for w in (None, 2, 3)
+        ]
+        for other in mats[1:]:
+            assert mats[0].tiles.keys() == other.tiles.keys()
+            for ij, tile in mats[0].tiles.items():
+                peer = other.tiles[ij]
+                assert type(tile) is type(peer)
+                np.testing.assert_array_equal(
+                    tile.to_dense(), peer.to_dense(), err_msg=str(ij)
+                )
+
+    def test_from_dense_parallel_matches_serial(self):
+        a = st_3d_exp_problem(512, 64, seed=3).dense()
+        rule = TruncationRule(eps=1e-8)
+        m1 = BandTLRMatrix.from_dense(a, 64, rule, band_size=1)
+        m2 = BandTLRMatrix.from_dense(a, 64, rule, band_size=1, n_workers=4)
+        for ij in m1.tiles:
+            np.testing.assert_array_equal(
+                m1.tiles[ij].to_dense(), m2.tiles[ij].to_dense()
+            )
+
+    def test_backend_survives_band_change_and_copy(self):
+        problem = st_3d_exp_problem(600, 100, seed=1)
+        rule = TruncationRule(eps=1e-6)
+        mat = BandTLRMatrix.from_problem(problem, rule, backend="rsvd")
+        assert mat.backend is get_backend("rsvd")
+        widened = mat.with_band_size(2, problem)
+        assert widened.backend is mat.backend
+        assert mat.copy().backend is mat.backend
+
+    def test_rsvd_factorization_stays_within_accuracy(self):
+        problem = st_3d_exp_problem(600, 100, seed=2021)
+        ref = problem.dense()
+        rule = TruncationRule(eps=1e-6)
+        mat = BandTLRMatrix.from_problem(
+            problem, rule, band_size=2, backend="rsvd", n_workers=2
+        )
+        from repro.core import tlr_cholesky
+
+        tlr_cholesky(mat)
+        l = mat.to_dense(lower_only=True)
+        err = np.linalg.norm(l @ l.T - ref) / np.linalg.norm(ref)
+        assert err <= 1e-5
+
+    def test_tile_seed_is_coordinate_stable(self):
+        s1 = tile_seed(2021, 3, 1).generate_state(4)
+        s2 = tile_seed(2021, 3, 1).generate_state(4)
+        s3 = tile_seed(2021, 1, 3).generate_state(4)
+        np.testing.assert_array_equal(s1, s2)
+        assert not np.array_equal(s1, s3)
+
+
+class TestCLI:
+    def test_demo_with_rsvd(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(
+            [
+                "demo",
+                "--n",
+                "256",
+                "--tile",
+                "64",
+                "--accuracy",
+                "1e-6",
+                "--compression",
+                "rsvd",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[rsvd]" in out
+        assert "solve relative error" in out
