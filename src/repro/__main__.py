@@ -1,13 +1,19 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five focused commands mirroring the library's main entry points:
+Six focused commands mirroring the library's main entry points:
 
 * ``info``      — version and subsystem inventory;
 * ``demo``      — compress → auto-tune → factorize → solve, with a report;
 * ``tune``      — run Algorithm 1 on a problem and print its cost table;
 * ``simulate``  — replay a Cholesky DAG on the machine simulator;
 * ``execute``   — run the DAG for real on the parallel thread-pool
-  executor, with occupancy/Gantt/Chrome-trace artifacts.
+  executor, with occupancy/Gantt/Chrome-trace artifacts;
+* ``report``    — render the telemetry of a ``--obs`` run as a text report.
+
+``demo`` and ``execute`` accept ``--obs DIR``: the run executes under an
+active :mod:`repro.obs` observation and writes the four standard artifacts
+(``trace.json``, ``events.jsonl``, ``summary.json``, ``metrics.prom``)
+into ``DIR``.
 """
 
 from __future__ import annotations
@@ -15,6 +21,31 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+
+
+def _observed(args: argparse.Namespace, body) -> int:
+    """Run ``body`` under an observation when ``--obs DIR`` was given.
+
+    Writes the standard artifact set into the directory afterwards and
+    prints where they landed; without ``--obs`` this is a plain call.
+    """
+    outdir = getattr(args, "obs", None)
+    if outdir is None:
+        return body()
+    from repro import obs
+
+    meta = {
+        k: v
+        for k, v in vars(args).items()
+        if v is not None and isinstance(v, (str, int, float, bool))
+    }
+    with obs.observe(meta=meta) as run:
+        rc = body()
+    paths = run.write(outdir)
+    print(f"observability artifacts in {outdir}: "
+          + ", ".join(p.name for p in sorted(paths.values())))
+    print(f"render with: python -m repro report {outdir}")
+    return rc
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -39,6 +70,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    return _observed(args, lambda: _run_demo(args))
+
+
+def _run_demo(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro import TLRSolver, st_3d_exp_problem
@@ -152,6 +187,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_execute(args: argparse.Namespace) -> int:
+    return _observed(args, lambda: _run_execute(args))
+
+
+def _run_execute(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro import TruncationRule, st_3d_exp_problem
@@ -225,6 +264,14 @@ def _cmd_execute(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_summary, render_report
+
+    summary = load_summary(args.path)
+    print(render_report(summary, width=args.width))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     p = argparse.ArgumentParser(
@@ -246,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--compression", choices=["svd", "rsvd"], default="svd",
                    help="compression backend: exact SVD or adaptive "
                         "randomized SVD")
+    d.add_argument("--obs", type=str, default=None, metavar="DIR",
+                   help="record spans + metrics and write trace/summary/"
+                        "Prometheus artifacts into DIR")
 
     t = sub.add_parser("tune", help="run the BAND_SIZE auto-tuner")
     t.add_argument("--n", type=int, default=4050)
@@ -295,6 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--width", type=int, default=100)
     e.add_argument("--trace", type=str, default=None, metavar="PATH",
                    help="write a Chrome-tracing JSON of the real run")
+    e.add_argument("--obs", type=str, default=None, metavar="DIR",
+                   help="record spans + metrics and write trace/summary/"
+                        "Prometheus artifacts into DIR")
+
+    r = sub.add_parser(
+        "report",
+        help="render the telemetry of a --obs run as a text report",
+    )
+    r.add_argument("path", help="--obs directory (or a summary.json inside one)")
+    r.add_argument("--width", type=int, default=80,
+                   help="report width in characters")
     return p
 
 
@@ -307,6 +368,7 @@ def main(argv: list[str] | None = None) -> int:
         "tune": _cmd_tune,
         "simulate": _cmd_simulate,
         "execute": _cmd_execute,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

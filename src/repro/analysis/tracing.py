@@ -9,13 +9,18 @@ reproduction ships the same workflow for its simulated runs — and for
 (:class:`~repro.runtime.parallel.ParallelExecutionReport`) carries the
 same ``trace``/``makespan``/``nodes`` surface, so one exporter serves
 both.
+
+The actual serialization lives in :func:`repro.obs.exporters.write_chrome_trace`
+(which also accepts live :class:`~repro.obs.tracer.Tracer` objects); this
+module keeps the historical entry point and its
+:class:`~repro.utils.exceptions.ConfigurationError` contract.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
+from ..obs.exporters import write_chrome_trace
 from ..runtime.parallel import ParallelExecutionReport
 from ..runtime.simulator import SimResult
 from ..utils.exceptions import ConfigurationError
@@ -39,48 +44,14 @@ def export_chrome_trace(
         ``collect_trace=True``.
     path:
         Output file; ``.json`` appended when missing.
+
+    Raises
+    ------
+    ConfigurationError
+        When the result carries no trace (``collect_trace`` was off).
     """
     if result.trace is None:
         raise ConfigurationError(
             "result has no trace; simulate with collect_trace=True"
         )
-    path = Path(path)
-    if path.suffix != ".json":
-        path = path.with_suffix(path.suffix + ".json")
-
-    # Greedy core-lane reconstruction (same scheme as analysis.gantt).
-    lanes: dict[int, list[float]] = {}
-    events = []
-    for tid, proc, start, end in sorted(result.trace, key=lambda r: (r[1], r[2])):
-        ends = lanes.setdefault(proc, [])
-        for lane, t_end in enumerate(ends):
-            if start >= t_end - 1e-15:
-                ends[lane] = end
-                break
-        else:
-            lane = len(ends)
-            ends.append(end)
-        kind = tid[0].value if hasattr(tid[0], "value") else str(tid[0])
-        events.append(
-            {
-                "name": "_".join(str(x) for x in tid),
-                "cat": kind,
-                "ph": "X",
-                "ts": start * 1e6,
-                "dur": max(end - start, 0.0) * 1e6,
-                "pid": int(proc),
-                "tid": int(lane),
-            }
-        )
-    doc = {
-        "traceEvents": events,
-        "displayTimeUnit": "ms",
-        "otherData": {
-            "makespan_s": result.makespan,
-            "nodes": result.nodes,
-            "cores_per_node": result.cores_per_node,
-        },
-    }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(doc))
-    return path
+    return write_chrome_trace(result, path)

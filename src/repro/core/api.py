@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..linalg.compression import TruncationRule
 from ..matrix.memory import MemoryReport, footprint_report
 from ..matrix.tlr_matrix import BandTLRMatrix
@@ -98,30 +99,39 @@ class TLRSolver:
             :meth:`factorize`.  Results are bitwise identical either way.
         """
         rule = TruncationRule(eps=accuracy, maxrank=maxrank)
-        if band_size == "auto":
+        with obs.span(
+            "from_problem",
+            "phase",
+            n=problem.n,
+            tile_size=problem.tile_size,
+            accuracy=accuracy,
+            band_size=band_size,
+        ):
+            if band_size == "auto":
+                matrix = BandTLRMatrix.from_problem(
+                    problem,
+                    rule,
+                    band_size=1,
+                    backend=compression,
+                    n_workers=n_workers,
+                )
+                with obs.span("autotune_band", "phase"):
+                    matrix, decision = autotune_matrix(
+                        matrix, problem, fluctuation=fluctuation
+                    )
+                return cls(matrix=matrix, problem=problem, decision=decision)
+            if not isinstance(band_size, int):
+                raise ConfigurationError(
+                    f"band_size must be 'auto' or an int, got {band_size!r}"
+                )
             matrix = BandTLRMatrix.from_problem(
                 problem,
                 rule,
-                band_size=1,
+                band_size=band_size,
                 backend=compression,
                 n_workers=n_workers,
             )
-            matrix, decision = autotune_matrix(
-                matrix, problem, fluctuation=fluctuation
-            )
-            return cls(matrix=matrix, problem=problem, decision=decision)
-        if not isinstance(band_size, int):
-            raise ConfigurationError(
-                f"band_size must be 'auto' or an int, got {band_size!r}"
-            )
-        matrix = BandTLRMatrix.from_problem(
-            problem,
-            rule,
-            band_size=band_size,
-            backend=compression,
-            n_workers=n_workers,
-        )
-        return cls(matrix=matrix, problem=problem)
+            return cls(matrix=matrix, problem=problem)
 
     # ------------------------------------------------------------------
     @property
@@ -149,12 +159,14 @@ class TLRSolver:
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``Σ x = rhs`` (requires :meth:`factorize` first)."""
         self._require_factor()
-        return solve_spd(self.matrix, rhs)
+        with obs.span("solve", "phase"):
+            return solve_spd(self.matrix, rhs)
 
     def log_likelihood(self, z: np.ndarray) -> float:
         """Gaussian log-likelihood of measurements ``z`` (Eq. 1)."""
         self._require_factor()
-        return log_likelihood(self.matrix, z)
+        with obs.span("log_likelihood", "phase"):
+            return log_likelihood(self.matrix, z)
 
     def log_det(self) -> float:
         """``log|Σ|`` from the factor's diagonal."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..linalg import hcore
 from ..linalg.compression import TruncationRule
 from ..linalg.flops import FlopCounter
@@ -105,13 +106,40 @@ def tlr_cholesky(
         raise ConfigurationError(
             f"adaptive_threshold must be in (0, 1], got {adaptive_threshold}"
         )
-    if n_workers is not None:
-        if adaptive_threshold is not None:
-            raise ConfigurationError(
-                "adaptive_threshold requires the sequential path; "
-                "it cannot be combined with n_workers"
+    if n_workers is not None and adaptive_threshold is not None:
+        raise ConfigurationError(
+            "adaptive_threshold requires the sequential path; "
+            "it cannot be combined with n_workers"
+        )
+    with obs.span(
+        "tlr_cholesky",
+        "phase",
+        nt=matrix.ntiles,
+        band_size=matrix.band_size,
+        workers=n_workers,
+    ):
+        if n_workers is not None:
+            report = _tlr_cholesky_parallel(matrix, rule, n_workers, backend)
+        else:
+            report = _tlr_cholesky_sequential(
+                matrix, rule, adaptive_threshold, backend
             )
-        return _tlr_cholesky_parallel(matrix, rule, n_workers, backend)
+    if obs.enabled():
+        obs.gauge_set("rank_growth_events", report.rank_growth_events)
+        obs.gauge_set("max_rank_seen", report.max_rank_seen)
+        for tile in matrix.tiles.values():
+            if isinstance(tile, LowRankTile):
+                obs.histogram_observe("tile_rank", tile.rank, stage="factorized")
+    return report
+
+
+def _tlr_cholesky_sequential(
+    matrix: BandTLRMatrix,
+    rule: TruncationRule,
+    adaptive_threshold: float | None,
+    backend,
+) -> FactorizationReport:
+    """The right-looking loops of Fig. 4 (body of :func:`tlr_cholesky`)."""
     nt = matrix.ntiles
     report = FactorizationReport()
 

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.linalg as sla
 
+from .. import obs
 from ..utils.exceptions import CompressionError, ConfigurationError
 from ..utils.validation import check_matrix
 from .compression import (
@@ -207,7 +208,12 @@ class CompressionBackend:
                 f"stacked factor rank mismatch: U has {u_stack.shape[1]}, "
                 f"V has {v_stack.shape[1]}"
             )
-        return _qr_svd_recompress(u_stack, v_stack, rule, previous_rank)
+        with obs.span("recompress", "recompress", backend=self.name):
+            result = _qr_svd_recompress(u_stack, v_stack, rule, previous_rank)
+        obs.histogram_observe(
+            "tile_rank", result.rank_after, stage="recompress_post"
+        )
+        return result
 
     def recompress_update(
         self,
@@ -239,10 +245,17 @@ class CompressionBackend:
             us[:, kc:] = u_upd
             vs[:, :kc] = c.v
             np.multiply(v_upd, -1.0, out=vs[:, kc:])
-            return _qr_svd_recompress(us, vs, rule, c.rank, overwrite=True)
+            with obs.span("recompress", "recompress", backend=self.name):
+                result = _qr_svd_recompress(us, vs, rule, c.rank, overwrite=True)
         finally:
             ws.release(us)
             ws.release(vs)
+        if obs.enabled():
+            obs.histogram_observe("tile_rank", kc, stage="recompress_pre")
+            obs.histogram_observe(
+                "tile_rank", result.rank_after, stage="recompress_post"
+            )
+        return result
 
     @property
     def workspace_pool_stats(self):
@@ -259,7 +272,10 @@ class SVDBackend(CompressionBackend):
         self, a: np.ndarray, rule: TruncationRule, *, seed=None
     ) -> LowRankTile:
         a = check_matrix("a", a)
-        return _svd_compress(a, rule)
+        with obs.span("compress", "compress", backend=self.name):
+            tile = _svd_compress(a, rule)
+        obs.histogram_observe("tile_rank", tile.rank, stage="compress")
+        return tile
 
 
 @dataclass(frozen=True)
@@ -336,6 +352,15 @@ class RandomizedSVDBackend(CompressionBackend):
         self, a: np.ndarray, rule: TruncationRule, *, seed=None
     ) -> LowRankTile:
         a = check_matrix("a", a)
+        with obs.span("compress", "compress", backend=self.name):
+            tile = self._compress_ara(a, rule, seed)
+        obs.histogram_observe("tile_rank", tile.rank, stage="compress")
+        return tile
+
+    def _compress_ara(
+        self, a: np.ndarray, rule: TruncationRule, seed
+    ) -> LowRankTile:
+        """The adaptive range-finder body (see class docstring)."""
         cfg = self.config
         m, n = a.shape
         mn = min(m, n)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg as sla
 
+from ..obs import kernel_observed
 from ..utils.exceptions import KernelError, NotPositiveDefiniteError
 from .backends import get_backend
 from .compression import RecompressionResult, TruncationRule
@@ -63,6 +64,9 @@ __all__ = [
 def _count(counter: FlopCounter | None, kind: KernelClass, flops: float) -> None:
     if counter is not None:
         counter.add(kind, flops)
+    # Feeds the per-region invocation/flop counters of repro.obs; a no-op
+    # (one None check) unless an observation is active.
+    kernel_observed(kind.value, flops)
 
 
 # ----------------------------------------------------------------------

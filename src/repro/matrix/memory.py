@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..utils.exceptions import ConfigurationError
 from .tlr_matrix import BandTLRMatrix
 
@@ -127,6 +128,11 @@ class MemoryTracker:
         self._tile_sizes[key] = size
         self.current_elements += size
         self.peak_elements = max(self.peak_elements, self.current_elements)
+        if obs.enabled():
+            obs.sample("memory_elements", self.current_elements)
+            obs.gauge_set(
+                "memory_peak_elements", self.peak_elements, stat="tiles"
+            )
 
     def transient(self, elements: int) -> None:
         """Record a short-lived buffer (e.g. recompression stacks) that
@@ -134,6 +140,10 @@ class MemoryTracker:
         if elements < 0:
             raise ConfigurationError("transient size must be >= 0")
         self.peak_elements = max(self.peak_elements, self.current_elements + elements)
+        if obs.enabled():
+            obs.gauge_set(
+                "memory_peak_elements", self.peak_elements, stat="with_transients"
+            )
 
     @property
     def current_bytes(self) -> int:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..linalg.backends import CompressionBackend, get_backend, tile_seed
 from ..linalg.compression import TruncationRule
 from ..linalg.tiles import DenseTile, LowRankTile, Tile
@@ -142,14 +143,40 @@ class BandTLRMatrix:
         return mat
 
     def _assemble(self, build, n_workers: int | None) -> None:
-        """Fill ``self.tiles`` by mapping ``build`` over the lower triangle."""
+        """Fill ``self.tiles`` by mapping ``build`` over the lower triangle.
+
+        With an active :mod:`repro.obs` observation the assembly is one
+        ``"assemble"`` span, every tile build is a nested span, and the
+        post-assembly rank spectrum (the auto-tuner's input) lands in the
+        ``tile_rank`` histogram under ``stage="assembly"``.
+        """
         # Lazy import: repro.runtime's package init pulls in modules that
         # import this one.
         from ..runtime.workpool import parallel_map
 
         coords = list(self.desc.lower_tiles())
-        for ij, tile in zip(coords, parallel_map(build, coords, n_workers)):
+        with obs.span(
+            "assemble",
+            "assembly",
+            tiles=len(coords),
+            band_size=self.band_size,
+            workers=n_workers,
+        ):
+            built = parallel_map(
+                build, coords, n_workers, label="build_tile", category="assembly"
+            )
+        for ij, tile in zip(coords, built):
             self.tiles[ij] = tile
+        if obs.enabled():
+            dense = lowrank = 0
+            for tile in built:
+                if isinstance(tile, LowRankTile):
+                    lowrank += 1
+                    obs.histogram_observe("tile_rank", tile.rank, stage="assembly")
+                else:
+                    dense += 1
+            obs.counter_add("assembly_tiles", dense, format="dense")
+            obs.counter_add("assembly_tiles", lowrank, format="lowrank")
 
     # ------------------------------------------------------------------
     # Access

@@ -1,0 +1,227 @@
+"""Run-summary renderer behind ``python -m repro report``.
+
+Consumes the ``summary.json`` an :class:`~repro.obs.Observation` writes
+and renders the terminal report the paper's evaluation questions map
+onto:
+
+* **rank spectrum** — the post-compression / post-recompression rank
+  histograms that drive the BAND_SIZE auto-tuner (Fig. 1, Fig. 2b);
+* **flop breakdown** — modelled flops per Table I kernel class with the
+  dense-band vs low-rank split (Figs. 6b, 6c, 10);
+* **memory timeline** — live footprint over the run plus pool hit rates
+  and high-water marks (Fig. 8, Section VII-B);
+* **execution** — span totals per category, worker occupancy, ready-queue
+  depth (Fig. 11's occupancy view).
+
+Pure stdlib, no numpy: the report must be readable from any recorded
+run directory regardless of the environment that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["load_summary", "render_report", "DENSE_KERNEL_CLASSES"]
+
+#: Region-(1) kernel classes — the all-dense band work (Table I).
+DENSE_KERNEL_CLASSES = frozenset(
+    {"(1)-POTRF", "(1)-TRSM", "(1)-SYRK", "(1)-GEMM"}
+)
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def load_summary(path: str | Path) -> dict:
+    """Load a summary dict from a run directory or a summary file.
+
+    ``path`` may be the directory an observation was written to (the
+    ``summary.json`` inside it is read) or the JSON file itself.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / "summary.json"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no run summary at {path}; record one with "
+            "'python -m repro execute --obs DIR' or Observation.write()"
+        )
+    return json.loads(path.read_text())
+
+
+def _bar(fraction: float, width: int) -> str:
+    n = max(0, min(width, int(round(fraction * width))))
+    return "#" * n
+
+
+def _sparkline(values: list[float], width: int) -> str:
+    """Downsample ``values`` to ``width`` columns of block characters."""
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    cols = []
+    for c in range(width):
+        lo = int(c * len(values) / width)
+        hi = max(lo + 1, int((c + 1) * len(values) / width))
+        v = max(values[lo:hi])
+        cols.append(_BLOCKS[int(round(v / peak * (len(_BLOCKS) - 1)))])
+    return "".join(cols)
+
+
+def _fmt_bytes(elements: float) -> str:
+    mib = elements * 8 / 2**20
+    return f"{mib:.1f} MiB"
+
+
+def _metric_list(summary: dict, kind: str, name: str) -> list[dict]:
+    return [m for m in summary["metrics"].get(kind, []) if m["name"] == name]
+
+
+def _section(title: str) -> list[str]:
+    return ["", title, "-" * len(title)]
+
+
+def _render_header(summary: dict) -> list[str]:
+    meta = summary.get("meta", {})
+    lines = ["repro run report", "================"]
+    for key in sorted(meta):
+        lines.append(f"{key:<16} {meta[key]}")
+    lines.append(f"{'wall clock':<16} {summary.get('wall_s', 0.0):.3f} s")
+    return lines
+
+
+def _render_spans(summary: dict, width: int) -> list[str]:
+    cats = summary.get("spans", {}).get("by_category", {})
+    if not cats:
+        return []
+    lines = _section("time by span category")
+    total = sum(s for _, s in cats.values()) or 1.0
+    for cat, (count, secs) in sorted(
+        cats.items(), key=lambda kv: kv[1][1], reverse=True
+    ):
+        lines.append(
+            f"{cat:<14} {count:>7d} spans {secs:>9.3f} s  "
+            f"{_bar(secs / total, width // 3)}"
+        )
+    return lines
+
+
+def _render_flops(summary: dict, width: int) -> list[str]:
+    flops = _metric_list(summary, "counters", "kernel_flops")
+    if not flops:
+        return []
+    invocations = {
+        m["labels"].get("kernel"): m
+        for m in _metric_list(summary, "counters", "kernel_invocations")
+    }
+    lines = _section("modelled flops by kernel class (Table I)")
+    total = sum(m["value"] for m in flops) or 1.0
+    dense = 0.0
+    for m in sorted(flops, key=lambda m: m["value"], reverse=True):
+        kernel = m["labels"].get("kernel", "?")
+        calls = invocations.get(kernel, {}).get("increments", m["increments"])
+        if kernel in DENSE_KERNEL_CLASSES:
+            dense += m["value"]
+        lines.append(
+            f"{kernel:<12} {m['value']:>12.3e} flop {calls:>7d} calls  "
+            f"{_bar(m['value'] / total, width // 3)}"
+        )
+    lr = total - dense
+    lines.append(
+        f"{'split':<12} dense-band {dense / total * 100:5.1f}%  "
+        f"low-rank {lr / total * 100:5.1f}%  (total {total:.3e} flop)"
+    )
+    return lines
+
+
+def _render_ranks(summary: dict, width: int) -> list[str]:
+    hists = _metric_list(summary, "histograms", "tile_rank")
+    hists = [h for h in hists if h.get("count")]
+    if not hists:
+        return []
+    lines = _section("rank spectrum")
+    for h in hists:
+        stage = h["labels"].get("stage", "?")
+        lines.append(
+            f"[{stage}]  n={h['count']}  min/mean/max = "
+            f"{h['min']:g}/{h['mean']:.1f}/{h['max']:g}  p95={h['p95']:g}"
+        )
+        counts = h.get("counts", {})
+        peak = max(counts.values()) if counts else 1
+        for rank, count in counts.items():
+            lines.append(
+                f"  rank {rank:>4} {count:>6d} {_bar(count / peak, width // 2)}"
+            )
+    return lines
+
+
+def _render_memory(summary: dict, width: int) -> list[str]:
+    series = _metric_list(summary, "series", "memory_elements")
+    gauges = {
+        g["labels"].get("stat"): g
+        for g in _metric_list(summary, "gauges", "memory_peak_elements")
+    }
+    pool_gauges = _metric_list(summary, "gauges", "pool_hit_rate")
+    if not (series or gauges or pool_gauges):
+        return []
+    lines = _section("memory")
+    for s in series:
+        values = [v for _, v in s["samples"]]
+        if not values:
+            continue
+        lines.append(f"footprint timeline ({len(values)} samples):")
+        lines.append("  " + _sparkline(values, width - 4))
+        lines.append(
+            f"  start {_fmt_bytes(values[0])}  "
+            f"peak {_fmt_bytes(max(values))}  "
+            f"end {_fmt_bytes(values[-1])}"
+        )
+    for stat, g in sorted(gauges.items(), key=lambda kv: kv[0] or ""):
+        lines.append(f"high-water [{stat}]: {_fmt_bytes(g['value'])}")
+    for g in pool_gauges:
+        scope = g["labels"].get("pool", "pool")
+        detail = {
+            m["name"]: m["value"]
+            for name in ("pool_reuses", "pool_allocations", "pool_peak_bytes")
+            for m in _metric_list(summary, "gauges", name)
+            if m["labels"].get("pool") == scope
+        }
+        lines.append(
+            f"pool [{scope}]: hit rate {g['value'] * 100:.1f}%  "
+            f"({int(detail.get('pool_reuses', 0))} reuses / "
+            f"{int(detail.get('pool_allocations', 0))} allocs, "
+            f"peak {detail.get('pool_peak_bytes', 0) / 2**20:.1f} MiB)"
+        )
+    return lines
+
+
+def _render_executor(summary: dict, width: int) -> list[str]:
+    occ = _metric_list(summary, "gauges", "worker_occupancy")
+    queue = _metric_list(summary, "series", "ready_queue_depth")
+    if not (occ or queue):
+        return []
+    lines = _section("executor")
+    for g in sorted(occ, key=lambda g: g["labels"].get("worker", "")):
+        worker = g["labels"].get("worker", "?")
+        lines.append(
+            f"worker {worker:>3} occupancy {g['value'] * 100:5.1f}%  "
+            f"{_bar(g['value'], width // 3)}"
+        )
+    for s in queue:
+        values = [v for _, v in s["samples"]]
+        if values:
+            lines.append(f"ready-queue depth (peak {int(max(values))}):")
+            lines.append("  " + _sparkline(values, width - 4))
+    return lines
+
+
+def render_report(summary: dict, width: int = 80) -> str:
+    """Render the full terminal report for one recorded run."""
+    lines: list[str] = []
+    lines += _render_header(summary)
+    lines += _render_spans(summary, width)
+    lines += _render_flops(summary, width)
+    lines += _render_ranks(summary, width)
+    lines += _render_memory(summary, width)
+    lines += _render_executor(summary, width)
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..linalg import hcore
 from ..linalg.compression import TruncationRule
 from ..linalg.flops import FlopCounter
@@ -111,6 +112,7 @@ def execute_graph(
     report.tracker.register_matrix(matrix)
     pooled: set[int] = set()  # ids of factor arrays owned by the pool
 
+    observing = obs.enabled()
     for tid in graph.topological_order():
         task = graph.tasks[tid]
         if tid != _canonical_tid(task):
@@ -119,60 +121,85 @@ def execute_graph(
                 "recursive_split"
             )
         kind = task.kind
-        if kind is TaskKind.POTRF:
-            (_, k) = tid
-            hcore.potrf_dense(
-                matrix.tile(k, k), counter=report.counter, tile_index=(k, k)
+        if observing:
+            span = obs.span(
+                "_".join([kind.name, *(str(x) for x in tid[1:])]), "task"
             )
-        elif kind is TaskKind.TRSM:
-            (_, m, k) = tid
-            out = hcore.trsm_auto(
-                matrix.tile(k, k), matrix.tile(m, k), counter=report.counter
-            )
-            matrix.set_tile(m, k, out)
-        elif kind is TaskKind.SYRK:
-            (_, n, k) = tid
-            hcore.syrk_auto(
-                matrix.tile(n, k), matrix.tile(n, n), counter=report.counter
-            )
-        else:  # GEMM
-            (_, m, n, k) = tid
-            out, _, recomp = hcore.gemm_auto(
-                matrix.tile(m, k),
-                matrix.tile(n, k),
-                matrix.tile(m, n),
-                rule,
-                counter=report.counter,
-                backend=backend,
-            )
-            if recomp is not None:
-                bm, bn = out.shape
-                # Transient stacked factors existed during recompression.
-                report.tracker.transient((bm + bn) * recomp.rank_before)
-                if recomp.grew:
-                    report.rank_growth_events += 1
-                if use_pool:
-                    # Release the destination's previous factors back to
-                    # the pool, then re-associate the fresh exact-size
-                    # buffers — Section VII-B's two-stage designation.
-                    old = matrix.tile(m, n)
-                    if isinstance(old, LowRankTile):
-                        for arr in (old.u, old.v):
-                            if id(arr) in pooled:
-                                pooled.discard(id(arr))
-                                report.pool.release(arr)
-                    if isinstance(out, LowRankTile) and out.rank > 0:
-                        out = LowRankTile(
-                            report.pool.take(out.u), report.pool.take(out.v)
-                        )
-                        pooled.add(id(out.u))
-                        pooled.add(id(out.v))
-                report.max_rank_seen = max(report.max_rank_seen, recomp.rank_after)
-            matrix.set_tile(m, n, out)
-            report.tracker.allocate_tile((m, n), out)
+        else:
+            span = obs.NULL_SPAN
+        with span:
+            _execute_task(tid, task, kind, matrix, rule, backend, report,
+                          pooled, use_pool)
         report.tasks_executed += 1
 
+    if observing:
+        obs.counter_add(
+            "tasks_executed", report.tasks_executed, executor="sequential"
+        )
+        obs.pool_observed(report.pool.stats, pool="executor")
+        from ..linalg.backends import get_backend
+
+        obs.pool_observed(
+            get_backend(backend).workspace_pool_stats, pool="workspace"
+        )
     return report
+
+
+def _execute_task(
+    tid, task, kind, matrix, rule, backend, report, pooled, use_pool
+) -> None:
+    """Run one graph task's kernel on the matrix (body of the main loop)."""
+    if kind is TaskKind.POTRF:
+        (_, k) = tid
+        hcore.potrf_dense(
+            matrix.tile(k, k), counter=report.counter, tile_index=(k, k)
+        )
+    elif kind is TaskKind.TRSM:
+        (_, m, k) = tid
+        out = hcore.trsm_auto(
+            matrix.tile(k, k), matrix.tile(m, k), counter=report.counter
+        )
+        matrix.set_tile(m, k, out)
+    elif kind is TaskKind.SYRK:
+        (_, n, k) = tid
+        hcore.syrk_auto(
+            matrix.tile(n, k), matrix.tile(n, n), counter=report.counter
+        )
+    else:  # GEMM
+        (_, m, n, k) = tid
+        out, _, recomp = hcore.gemm_auto(
+            matrix.tile(m, k),
+            matrix.tile(n, k),
+            matrix.tile(m, n),
+            rule,
+            counter=report.counter,
+            backend=backend,
+        )
+        if recomp is not None:
+            bm, bn = out.shape
+            # Transient stacked factors existed during recompression.
+            report.tracker.transient((bm + bn) * recomp.rank_before)
+            if recomp.grew:
+                report.rank_growth_events += 1
+            if use_pool:
+                # Release the destination's previous factors back to
+                # the pool, then re-associate the fresh exact-size
+                # buffers — Section VII-B's two-stage designation.
+                old = matrix.tile(m, n)
+                if isinstance(old, LowRankTile):
+                    for arr in (old.u, old.v):
+                        if id(arr) in pooled:
+                            pooled.discard(id(arr))
+                            report.pool.release(arr)
+                if isinstance(out, LowRankTile) and out.rank > 0:
+                    out = LowRankTile(
+                        report.pool.take(out.u), report.pool.take(out.v)
+                    )
+                    pooled.add(id(out.u))
+                    pooled.add(id(out.v))
+            report.max_rank_seen = max(report.max_rank_seen, recomp.rank_after)
+        matrix.set_tile(m, n, out)
+        report.tracker.allocate_tile((m, n), out)
 
 
 def _canonical_tid(task) -> tuple:

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..linalg import hcore
 from ..linalg.compression import TruncationRule
 from ..linalg.flops import FlopCounter
@@ -348,7 +349,11 @@ def execute_graph_parallel(
 
     busy = np.zeros(n_workers)
     traces: list[list[tuple]] = [[] for _ in range(n_workers)]
+    observing = obs.enabled()
     t0 = time.perf_counter()
+
+    def task_name(tid: tuple) -> str:
+        return "_".join([tid[0].name, *(str(x) for x in tid[1:])])
 
     def worker(wid: int) -> None:
         while True:
@@ -370,9 +375,15 @@ def execute_graph_parallel(
                     continue
                 _, tid = heapq.heappop(ready)
                 state["inflight"] += 1
+                if observing:
+                    obs.sample("ready_queue_depth", len(ready))
             start = time.perf_counter() - t0
             try:
-                run_task(tid)
+                if observing:
+                    with obs.span(task_name(tid), "task", worker=wid):
+                        run_task(tid)
+                else:
+                    run_task(tid)
             except BaseException as exc:  # propagate to the caller
                 with cond:
                     if state["failed"] is None:
@@ -393,6 +404,8 @@ def execute_graph_parallel(
                     if indeg[succ] == 0:
                         heapq.heappush(ready, (ready_key(succ), succ))
                         released += 1
+                if observing and released:
+                    obs.sample("ready_queue_depth", len(ready))
                 if state["executed"] == n_tasks or released:
                     cond.notify_all()
 
@@ -408,6 +421,23 @@ def execute_graph_parallel(
     report.makespan = time.perf_counter() - t0
     report.busy = busy
     report.tasks_executed = state["executed"]
+    if observing:
+        obs.gauge_set("makespan_s", report.makespan, executor="parallel")
+        obs.counter_add(
+            "tasks_executed", report.tasks_executed, executor="parallel"
+        )
+        for wid in range(n_workers):
+            obs.gauge_set(
+                "worker_occupancy",
+                float(busy[wid]) / max(report.makespan, 1e-300),
+                worker=str(wid),
+            )
+        obs.pool_observed(report.pool.stats, pool="executor")
+        from ..linalg.backends import get_backend
+
+        obs.pool_observed(
+            get_backend(backend).workspace_pool_stats, pool="workspace"
+        )
     if collect_trace:
         report.trace = sorted(
             (rec for per_worker in traces for rec in per_worker),

@@ -18,6 +18,8 @@ from __future__ import annotations
 import threading
 from collections.abc import Callable, Sequence
 
+from .. import obs
+
 __all__ = ["parallel_map"]
 
 
@@ -25,6 +27,9 @@ def parallel_map(
     fn: Callable,
     items: Sequence,
     n_workers: int | None = None,
+    *,
+    label: str | None = None,
+    category: str = "workpool",
 ):
     """Apply ``fn`` to every item on ``n_workers`` threads, keeping order.
 
@@ -32,12 +37,32 @@ def parallel_map(
     (no pool overhead, identical results).  If any call raises, the first
     exception (in item order) propagates and remaining items may be
     skipped.
+
+    With ``label`` and an active :mod:`repro.obs` observation, every item
+    is recorded as one span named ``label`` under ``category`` (carrying
+    the item index), and the pool's width and item count land in the
+    metrics registry — the workpool's occupancy surface.
     """
     items = list(items)
+    if label is not None and obs.enabled():
+        obs.counter_add("workpool_items", len(items), label=label)
+        inner = fn
+
+        def call(idx: int, item):
+            with obs.span(label, category, index=idx):
+                return inner(item)
+
+    else:
+
+        def call(idx: int, item):
+            return fn(item)
+
     if n_workers is None or n_workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return [call(idx, item) for idx, item in enumerate(items)]
 
     n_workers = min(n_workers, len(items))
+    if label is not None:
+        obs.gauge_set("workpool_workers", n_workers, label=label)
     results = [None] * len(items)
     errors: list[tuple[int, BaseException]] = []
     cursor = [0]
@@ -51,7 +76,7 @@ def parallel_map(
                 idx = cursor[0]
                 cursor[0] += 1
             try:
-                results[idx] = fn(items[idx])
+                results[idx] = call(idx, items[idx])
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 with lock:
                     errors.append((idx, exc))

@@ -1,0 +1,94 @@
+"""Docs hygiene: intra-repo links resolve, documented CLI flags exist.
+
+The CI docs job runs ``tools/check_links.py`` directly; these tests keep
+the same guarantees inside the tier-1 suite, plus one the script cannot
+give: every ``python -m repro ...`` invocation shown in a fenced code
+block uses a real subcommand with real flags (checked against
+``repro.__main__.build_parser``, the single source of truth).
+"""
+
+import argparse
+import importlib.util
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+
+def _load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO / "tools" / "check_links.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_docs_exist():
+    expected = {"index.md", "architecture.md", "api.md",
+                "observability.md", "reproducing.md"}
+    assert expected <= {p.name for p in (REPO / "docs").glob("*.md")}
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(path):
+    problems = _load_check_links().check_file(path)
+    assert problems == []
+
+
+# ----------------------------------------------------------------------
+# CLI flags mentioned in docs must exist
+# ----------------------------------------------------------------------
+def _cli_spec() -> dict[str, set[str]]:
+    """``{subcommand: {--flag, ...}}`` from the real parser."""
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    )
+    return {
+        name: {opt for act in p._actions for opt in act.option_strings}
+        for name, p in sub.choices.items()
+    }
+
+
+def _fenced_blocks(text: str) -> list[str]:
+    return re.findall(r"```[a-z]*\n(.*?)```", text, re.DOTALL)
+
+
+def _repro_invocations(text: str):
+    """Every ``python -m repro <sub> ...`` line in fenced blocks."""
+    for block in _fenced_blocks(text):
+        joined = re.sub(r"\\\s*\n\s*", " ", block)  # backslash continuations
+        for line in joined.splitlines():
+            m = re.match(r"(?:\$\s+)?python -m repro\s+(\S+)(.*)", line.strip())
+            if m:
+                yield m.group(1), m.group(2)
+
+
+def test_docs_reference_real_cli():
+    spec = _cli_spec()
+    seen = 0
+    for path in DOC_FILES:
+        for sub, rest in _repro_invocations(path.read_text()):
+            seen += 1
+            assert sub in spec, f"{path.name}: unknown subcommand {sub!r}"
+            for flag in re.findall(r"--[a-z][\w-]*", rest):
+                assert flag in spec[sub], (
+                    f"{path.name}: `python -m repro {sub}` has no {flag}"
+                )
+    assert seen >= 8  # the docs actually show CLI usage
+
+
+def test_every_cli_flag_is_documented():
+    """The reverse direction: each user-facing flag appears in some doc."""
+    spec = _cli_spec()
+    corpus = "\n".join(p.read_text() for p in DOC_FILES)
+    for sub, flags in spec.items():
+        for flag in flags - {"-h", "--help"}:
+            assert flag in corpus, f"`repro {sub} {flag}` is undocumented"

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Check intra-repo markdown links (files and heading anchors).
+
+Usage::
+
+    python tools/check_links.py [FILE.md ...]
+
+With no arguments, checks ``README.md`` and every ``docs/*.md``. For each
+``[text](target)`` link (images included) the target must exist relative
+to the linking file; ``#anchor`` fragments on markdown targets must match
+a heading in the target file (GitHub's slug rules). External links
+(``http``, ``https``, ``mailto``) are not fetched. Exits non-zero listing
+every dangling link — the CI docs job runs this.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp:")
+
+
+def _strip_fences(text: str) -> str:
+    """Drop fenced code blocks so example snippets are not parsed."""
+    out, keep, fence = [], True, None
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        if keep and stripped.startswith(("```", "~~~")):
+            keep, fence = False, stripped[:3]
+            continue
+        if not keep and fence is not None and stripped.startswith(fence):
+            keep, fence = True, None
+            continue
+        if keep:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor slug (close enough for ASCII docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in _strip_fences(path.read_text()).splitlines():
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if not m:
+            continue
+        slug = _slugify(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    """Dangling-link descriptions for one markdown file."""
+    problems: list[str] = []
+    for target in _LINK.findall(_strip_fences(path.read_text())):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            if target.startswith("#") and target[1:] not in _anchors(path):
+                problems.append(f"{path}: no heading for anchor {target!r}")
+            continue
+        ref, _, anchor = target.partition("#")
+        resolved = (path.parent / ref).resolve()
+        try:
+            resolved.relative_to(REPO)
+        except ValueError:
+            # Relative links that climb above the repo root (the CI badge
+            # style ../../actions/...) resolve on the forge, not on disk.
+            continue
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r} -> {resolved}")
+        elif anchor and resolved.suffix == ".md":
+            if anchor not in _anchors(resolved):
+                problems.append(
+                    f"{path}: no heading for anchor {target!r} in {ref}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        files = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    problems: list[str] = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file not found")
+            continue
+        problems.extend(check_file(path))
+    for line in problems:
+        print(line)
+    print(f"checked {len(files)} files: "
+          f"{'OK' if not problems else f'{len(problems)} broken links'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
