@@ -69,6 +69,34 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_plan(args: argparse.Namespace):
+    """The seeded ``FaultPlan`` of ``--faults``/``--fault-seed``, or None."""
+    if args.faults is None:
+        return None
+    from repro.testing import FaultPlan
+
+    return FaultPlan.parse(args.faults, seed=args.fault_seed)
+
+
+def _print_resilience(rep) -> None:
+    """One line summarizing what the recovery engine did, if anything."""
+    r = getattr(rep, "resilience", None)
+    if r is None:
+        return
+    parts = [f"retries={r.retries}", f"recovered={r.recoveries}"]
+    if r.npd_shifts:
+        parts.append(f"npd_shifts={r.npd_shifts}")
+    if r.densify_fallbacks:
+        parts.append(f"densified={r.densify_fallbacks}")
+    if r.watchdog_requeues:
+        parts.append(f"watchdog_requeues={r.watchdog_requeues}")
+    if r.checkpoints_written:
+        parts.append(f"checkpoints={r.checkpoints_written}")
+    if r.tasks_resumed:
+        parts.append(f"resumed={r.tasks_resumed}")
+    print("resilience: " + ", ".join(parts))
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     return _observed(args, lambda: _run_demo(args))
 
@@ -91,10 +119,16 @@ def _run_demo(args: argparse.Namespace) -> int:
           f"band={solver.band_size}, ranks {mn}/{avg:.1f}/{mx}")
 
     t0 = time.perf_counter()
-    rep = solver.factorize(n_workers=args.workers)
+    rep = solver.factorize(
+        n_workers=args.workers,
+        faults=_fault_plan(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     how = f" on {args.workers} workers" if args.workers else ""
     print(f"factorized in {time.perf_counter() - t0:.2f}s{how} "
           f"({rep.counter.total / 1e9:.2f} modelled Gflop)")
+    _print_resilience(rep)
 
     rng = np.random.default_rng(args.seed)
     x_true = rng.standard_normal(args.n)
@@ -231,6 +265,9 @@ def _run_execute(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         scheduler=args.scheduler,
         collect_trace=want_trace,
+        faults=_fault_plan(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     s = occupancy_summary(res)
     rows = [
@@ -243,6 +280,14 @@ def _run_execute(args: argparse.Namespace) -> int:
         ("max rank seen", res.max_rank_seen),
         ("pool hit rate", round(res.pool.stats.hit_rate, 3)),
     ]
+    if res.resilience is not None:
+        rows.append(("task retries", res.resilience.retries))
+        rows.append(("tasks recovered", res.resilience.recoveries))
+        if res.resilience.checkpoints_written:
+            rows.append(("checkpoints written",
+                         res.resilience.checkpoints_written))
+        if res.tasks_resumed:
+            rows.append(("tasks resumed", res.tasks_resumed))
     if t_seq is not None:
         rows.append(("sequential (s)", round(t_seq, 3)))
         rows.append(("speedup", round(t_seq / max(res.makespan, 1e-12), 2)))
@@ -272,6 +317,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_resilience_args(sp: argparse.ArgumentParser) -> None:
+    """Fault-injection and checkpoint flags shared by demo/execute."""
+    sp.add_argument("--faults", type=str, default=None, metavar="SPEC",
+                    help="inject faults: comma-separated kind:kernel:rate"
+                         "[:param] clauses, e.g. 'transient:gemm:0.05,"
+                         "nan:*:0.01' (kinds: transient, nan, oom, stall)")
+    sp.add_argument("--fault-seed", type=int, default=0,
+                    help="seed of the deterministic fault draws")
+    sp.add_argument("--checkpoint", type=str, default=None, metavar="DIR",
+                    help="write panel-frontier checkpoints into DIR during "
+                         "the factorization")
+    sp.add_argument("--resume", action="store_true",
+                    help="restore the latest checkpoint from --checkpoint "
+                         "DIR and skip completed tasks")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     p = argparse.ArgumentParser(
@@ -296,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--obs", type=str, default=None, metavar="DIR",
                    help="record spans + metrics and write trace/summary/"
                         "Prometheus artifacts into DIR")
+    _add_resilience_args(d)
 
     t = sub.add_parser("tune", help="run the BAND_SIZE auto-tuner")
     t.add_argument("--n", type=int, default=4050)
@@ -348,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--obs", type=str, default=None, metavar="DIR",
                    help="record spans + metrics and write trace/summary/"
                         "Prometheus artifacts into DIR")
+    _add_resilience_args(e)
 
     r = sub.add_parser(
         "report",

@@ -143,16 +143,36 @@ class TLRSolver:
     def is_factorized(self) -> bool:
         return self._factorized
 
-    def factorize(self, *, n_workers: int | None = None) -> FactorizationReport:
+    def factorize(
+        self,
+        *,
+        n_workers: int | None = None,
+        faults=None,
+        recovery=None,
+        checkpoint=None,
+        resume: bool = False,
+    ) -> FactorizationReport:
         """Run the BAND-DENSE-TLR Cholesky in place.
 
         With ``n_workers`` the factorization executes on the
         dependency-driven thread-pool executor (same factor, bitwise,
         for any worker count); without it, the sequential loops run.
+
+        ``faults``/``recovery``/``checkpoint``/``resume`` pass through to
+        :func:`~repro.core.factorize.tlr_cholesky`'s resilience engine:
+        fault injection (chaos testing), the retry/rollback recovery
+        policy, and checkpoint/restart of the completed-panel frontier.
         """
         if self._factorized:
             raise ConfigurationError("matrix is already factorized")
-        self.report = tlr_cholesky(self.matrix, n_workers=n_workers)
+        self.report = tlr_cholesky(
+            self.matrix,
+            n_workers=n_workers,
+            faults=faults,
+            recovery=recovery,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
         self._factorized = True
         return self.report
 

@@ -23,6 +23,7 @@ blocks of ``L``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .. import obs
 from ..linalg import hcore
@@ -31,6 +32,9 @@ from ..linalg.flops import FlopCounter
 from ..linalg.tiles import DenseTile, LowRankTile
 from ..matrix.tlr_matrix import BandTLRMatrix
 from ..utils.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..runtime.resilience import ResilienceReport
 
 __all__ = ["FactorizationReport", "tlr_cholesky"]
 
@@ -48,12 +52,20 @@ class FactorizationReport:
         previous rank (each would trigger a pool reallocation).
     max_rank_seen:
         Largest compressed-tile rank observed (final maxrank, Fig. 1).
+    tasks_resumed:
+        Tasks skipped because a restored checkpoint had completed them
+        (0 unless ``resume=True`` found a checkpoint).
+    resilience:
+        Recovery-engine counters (``None`` unless faults, a recovery
+        policy, or checkpointing was requested).
     """
 
     counter: FlopCounter = field(default_factory=FlopCounter)
     rank_growth_events: int = 0
     max_rank_seen: int = 0
     tiles_densified_online: int = 0
+    tasks_resumed: int = 0
+    resilience: "ResilienceReport | None" = None
 
 
 def tlr_cholesky(
@@ -63,6 +75,10 @@ def tlr_cholesky(
     adaptive_threshold: float | None = None,
     n_workers: int | None = None,
     backend=None,
+    faults=None,
+    recovery=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> FactorizationReport:
     """Factorize ``matrix`` in place into its lower Cholesky factor.
 
@@ -89,6 +105,21 @@ def tlr_cholesky(
         identical for any worker count.  Incompatible with
         ``adaptive_threshold`` (online densification rewrites the graph
         mid-flight).
+    faults:
+        Fault-injection source (spec string, ``FaultPlan``, or injector —
+        see :mod:`repro.testing.faults`); implies the recovery engine of
+        :mod:`repro.runtime.resilience`.
+    recovery:
+        A :class:`~repro.runtime.resilience.RecoveryPolicy` controlling
+        retries, NaN validation, NPD diagonal shifts, and the watchdog.
+    checkpoint:
+        Checkpoint directory (or ``CheckpointConfig``/``Checkpointer``):
+        the completed-panel frontier is persisted there so a killed run
+        can restart.
+    resume:
+        Restore the latest checkpoint from ``checkpoint`` before
+        factorizing; completed tasks are skipped and the final factor is
+        identical to an uninterrupted run.
 
     Returns
     -------
@@ -111,6 +142,19 @@ def tlr_cholesky(
             "adaptive_threshold requires the sequential path; "
             "it cannot be combined with n_workers"
         )
+    resilient = (
+        faults is not None
+        or recovery is not None
+        or checkpoint is not None
+        or resume
+    )
+    if resilient and adaptive_threshold is not None:
+        raise ConfigurationError(
+            "adaptive_threshold rewrites the task graph mid-flight; it "
+            "cannot be combined with faults/recovery/checkpoint/resume"
+        )
+    if resume and checkpoint is None:
+        raise ConfigurationError("resume=True requires a checkpoint directory")
     with obs.span(
         "tlr_cholesky",
         "phase",
@@ -118,8 +162,11 @@ def tlr_cholesky(
         band_size=matrix.band_size,
         workers=n_workers,
     ):
-        if n_workers is not None:
-            report = _tlr_cholesky_parallel(matrix, rule, n_workers, backend)
+        if n_workers is not None or resilient:
+            report = _tlr_cholesky_graph(
+                matrix, rule, n_workers, backend,
+                faults, recovery, checkpoint, resume,
+            )
         else:
             report = _tlr_cholesky_sequential(
                 matrix, rule, adaptive_threshold, backend
@@ -197,16 +244,26 @@ def _tlr_cholesky_sequential(
     return report
 
 
-def _tlr_cholesky_parallel(
-    matrix: BandTLRMatrix, rule: TruncationRule, n_workers: int, backend=None
+def _tlr_cholesky_graph(
+    matrix: BandTLRMatrix,
+    rule: TruncationRule,
+    n_workers: int | None,
+    backend=None,
+    faults=None,
+    recovery=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> FactorizationReport:
-    """Run the factorization through the parallel graph executor.
+    """Run the factorization through a graph executor.
 
     Builds the Cholesky DAG from the matrix's measured rank grid (the
     same graph the simulator replays) and executes it on ``n_workers``
-    threads; the report surface matches the sequential path's.
+    threads — or on the sequential graph executor when ``n_workers`` is
+    ``None`` but resilience features are requested; the report surface
+    matches the sequential path's.
     """
     # Local import: repro.runtime must stay importable without repro.core.
+    from ..runtime.executor import execute_graph
     from ..runtime.graph import build_cholesky_graph
     from ..runtime.parallel import execute_graph_parallel
 
@@ -218,11 +275,22 @@ def _tlr_cholesky_parallel(
     graph = build_cholesky_graph(
         matrix.ntiles, matrix.band_size, matrix.desc.tile_size, rank_fn
     )
-    run = execute_graph_parallel(
-        graph, matrix, rule=rule, n_workers=n_workers, backend=backend
+    resilience_kwargs = dict(
+        faults=faults, recovery=recovery, checkpoint=checkpoint, resume=resume
     )
+    if n_workers is not None:
+        run = execute_graph_parallel(
+            graph, matrix, rule=rule, n_workers=n_workers, backend=backend,
+            **resilience_kwargs,
+        )
+    else:
+        run = execute_graph(
+            graph, matrix, rule=rule, backend=backend, **resilience_kwargs
+        )
     return FactorizationReport(
         counter=run.counter,
         rank_growth_events=run.rank_growth_events,
         max_rank_seen=run.max_rank_seen,
+        tasks_resumed=run.tasks_resumed,
+        resilience=run.resilience,
     )

@@ -15,6 +15,13 @@ from .parallel import (
     ThreadSafeMemoryTracker,
     execute_graph_parallel,
 )
+from .resilience import (
+    CheckpointConfig,
+    Checkpointer,
+    RecoveryManager,
+    RecoveryPolicy,
+    ResilienceReport,
+)
 from .simulator import CommStats, SimResult, simulate
 from .solve_graph import SolveKind, build_solve_graph
 from .task import Edge, EdgeKind, Task, TaskKind, task_sort_key
@@ -49,6 +56,11 @@ __all__ = [
     "ThreadSafeMemoryPool",
     "ThreadSafeMemoryTracker",
     "execute_graph_parallel",
+    "CheckpointConfig",
+    "Checkpointer",
+    "RecoveryManager",
+    "RecoveryPolicy",
+    "ResilienceReport",
     "CommStats",
     "SimResult",
     "simulate",

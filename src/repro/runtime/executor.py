@@ -13,10 +13,18 @@ BLAS underneath already uses the cores.
 Low-rank destinations exercise the dynamic-memory path: recompression
 output factors are re-associated with a :class:`MemoryPool` and rank-growth
 reallocations are counted, mirroring Section VII-B.
+
+Resilience: pass ``faults`` (a spec string, :class:`FaultPlan`, or
+injector) and/or ``recovery`` (a :class:`RecoveryPolicy`) to run every
+task under the retry/rollback engine of
+:mod:`repro.runtime.resilience`; pass ``checkpoint`` (a directory or
+:class:`CheckpointConfig`) to periodically persist the completed-panel
+frontier, and ``resume=True`` to restart from the latest checkpoint.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from .. import obs
@@ -29,6 +37,7 @@ from ..matrix.tlr_matrix import BandTLRMatrix
 from ..utils.exceptions import RuntimeSystemError
 from .graph import TaskGraph
 from .memory_pool import MemoryPool
+from .resilience import ResilienceReport, as_checkpointer, build_manager
 from .task import TaskKind
 
 __all__ = ["ExecutionReport", "execute_graph"]
@@ -53,7 +62,12 @@ class ExecutionReport:
         Largest low-rank tile rank observed during the factorization
         (the paper's final maxrank, cf. Fig. 1).
     tasks_executed:
-        Total tasks run.
+        Total tasks run (excluding tasks restored from a checkpoint).
+    tasks_resumed:
+        Tasks skipped because a restored checkpoint had completed them.
+    resilience:
+        Recovery-engine counters (``None`` when no faults/recovery/
+        checkpointing was requested).
     """
 
     counter: FlopCounter = field(default_factory=FlopCounter)
@@ -62,6 +76,8 @@ class ExecutionReport:
     rank_growth_events: int = 0
     max_rank_seen: int = 0
     tasks_executed: int = 0
+    tasks_resumed: int = 0
+    resilience: ResilienceReport | None = None
 
 
 def execute_graph(
@@ -71,6 +87,10 @@ def execute_graph(
     rule: TruncationRule | None = None,
     use_pool: bool = True,
     backend=None,
+    faults=None,
+    recovery=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ExecutionReport:
     """Execute a (non-expanded) Cholesky task graph on ``matrix`` in place.
 
@@ -92,6 +112,21 @@ def execute_graph(
     backend:
         Compression backend for GEMM recompressions; defaults to the
         matrix's backend.
+    faults:
+        Fault-injection source: a spec string (see
+        :mod:`repro.testing.faults` for the grammar), a ``FaultPlan``, or
+        a ready injector.  Implies the recovery engine.
+    recovery:
+        A :class:`~repro.runtime.resilience.RecoveryPolicy`; ``None``
+        with ``faults`` set uses the default policy.
+    checkpoint:
+        Checkpoint directory (or
+        :class:`~repro.runtime.resilience.CheckpointConfig` /
+        :class:`~repro.runtime.resilience.Checkpointer`) — the
+        completed-panel frontier is persisted there.
+    resume:
+        Restore the latest checkpoint from ``checkpoint`` before
+        executing; completed tasks are skipped.
 
     Returns
     -------
@@ -110,27 +145,104 @@ def execute_graph(
     backend = backend if backend is not None else matrix.backend
     report = ExecutionReport()
     report.tracker.register_matrix(matrix)
-    pooled: set[int] = set()  # ids of factor arrays owned by the pool
+    pooled: dict[int, object] = {}  # id -> factor array owned by the pool
+    stats_lock = threading.Lock()
+
+    manager = build_manager(faults, recovery)
+    ckptr = as_checkpointer(checkpoint)
+    rrep = None
+    if manager is not None:
+        rrep = manager.report
+    elif ckptr is not None:
+        rrep = ResilienceReport()
+    report.resilience = rrep
+
+    completed: set[tuple] = set()
+    panels_total_done = 0
+    if resume and ckptr is not None:
+        ck = ckptr.load_latest()
+        if ck is not None:
+            ckptr.validate_against(graph, matrix, ck)
+            for ij, tile in ck.matrix.tiles.items():
+                matrix.set_tile(*ij, tile)
+            completed = set(ck.completed)
+            panels_total_done = ck.panels_done
+            report.tasks_resumed = len(completed)
+            rrep.tasks_resumed = len(completed)
+
+    if manager is not None:
+
+        def _discard(tile) -> None:
+            if isinstance(tile, LowRankTile):
+                for arr in (tile.u, tile.v):
+                    if pooled.pop(id(arr), None) is not None:
+                        report.pool.release(arr)
+
+        manager.discard = _discard
+
+    panel_remaining: dict[int, int] = {}
+    for tid, task in graph.tasks.items():
+        if tid not in completed:
+            p = task.panel
+            panel_remaining[p] = panel_remaining.get(p, 0) + 1
+    panels_since_save = 0
 
     observing = obs.enabled()
-    for tid in graph.topological_order():
-        task = graph.tasks[tid]
-        if tid != _canonical_tid(task):
-            raise RuntimeSystemError(
-                "executor received an expanded graph; build it without "
-                "recursive_split"
-            )
-        kind = task.kind
-        if observing:
-            span = obs.span(
-                "_".join([kind.name, *(str(x) for x in tid[1:])]), "task"
-            )
-        else:
-            span = obs.NULL_SPAN
-        with span:
-            _execute_task(tid, task, kind, matrix, rule, backend, report,
-                          pooled, use_pool)
-        report.tasks_executed += 1
+    try:
+        for tid in graph.topological_order():
+            task = graph.tasks[tid]
+            if tid != _canonical_tid(task):
+                raise RuntimeSystemError(
+                    "executor received an expanded graph; build it without "
+                    "recursive_split"
+                )
+            if tid in completed:
+                continue
+            kind = task.kind
+            if observing:
+                span = obs.span(
+                    "_".join([kind.name, *(str(x) for x in tid[1:])]), "task"
+                )
+            else:
+                span = obs.NULL_SPAN
+            with span:
+                if manager is not None:
+                    out, recomp = manager.run(
+                        task,
+                        matrix,
+                        lambda: _compute_task(
+                            tid, task, matrix, rule, backend, report.counter
+                        ),
+                    )
+                else:
+                    out, recomp = _compute_task(
+                        tid, task, matrix, rule, backend, report.counter
+                    )
+                _commit_task(
+                    tid, task, out, recomp, matrix, report, pooled,
+                    use_pool, stats_lock,
+                )
+            report.tasks_executed += 1
+            completed.add(tid)
+            panel_remaining[task.panel] -= 1
+            if panel_remaining[task.panel] == 0:
+                panels_total_done += 1
+                panels_since_save += 1
+                if (
+                    ckptr is not None
+                    and panels_since_save >= ckptr.config.every
+                    and len(completed) < len(graph.tasks)
+                ):
+                    ckptr.save(matrix, completed, panels_total_done)
+                    rrep.checkpoints_written += 1
+                    panels_since_save = 0
+        if ckptr is not None and report.tasks_executed:
+            # Final checkpoint: resuming a finished run is a no-op.
+            ckptr.save(matrix, completed, panels_total_done)
+            rrep.checkpoints_written += 1
+    finally:
+        if manager is not None:
+            manager.close()
 
     if observing:
         obs.counter_add(
@@ -145,61 +257,98 @@ def execute_graph(
     return report
 
 
-def _execute_task(
-    tid, task, kind, matrix, rule, backend, report, pooled, use_pool
-) -> None:
-    """Run one graph task's kernel on the matrix (body of the main loop)."""
+def _compute_task(tid, task, matrix, rule, backend, counter):
+    """Run one task's kernel; returns ``(out, recomp)`` without committing.
+
+    ``out`` is the produced tile for TRSM/GEMM and ``None`` for the
+    in-place POTRF/SYRK.  No pool or tracker side effects happen here —
+    :func:`_commit_task` applies them only after the (possibly
+    fault-injected) attempt is validated, so failed attempts never leak
+    pool buffers.
+    """
+    kind = task.kind
     if kind is TaskKind.POTRF:
         (_, k) = tid
         hcore.potrf_dense(
-            matrix.tile(k, k), counter=report.counter, tile_index=(k, k)
+            matrix.tile(k, k), counter=counter, tile_index=(k, k)
         )
-    elif kind is TaskKind.TRSM:
+        return None, None
+    if kind is TaskKind.TRSM:
         (_, m, k) = tid
         out = hcore.trsm_auto(
-            matrix.tile(k, k), matrix.tile(m, k), counter=report.counter
+            matrix.tile(k, k), matrix.tile(m, k), counter=counter
         )
-        matrix.set_tile(m, k, out)
-    elif kind is TaskKind.SYRK:
+        return out, None
+    if kind is TaskKind.SYRK:
         (_, n, k) = tid
         hcore.syrk_auto(
-            matrix.tile(n, k), matrix.tile(n, n), counter=report.counter
+            matrix.tile(n, k), matrix.tile(n, n), counter=counter
         )
-    else:  # GEMM
-        (_, m, n, k) = tid
-        out, _, recomp = hcore.gemm_auto(
-            matrix.tile(m, k),
-            matrix.tile(n, k),
-            matrix.tile(m, n),
-            rule,
-            counter=report.counter,
-            backend=backend,
+        return None, None
+    (_, m, n, k) = tid
+    out, _, recomp = hcore.gemm_auto(
+        matrix.tile(m, k),
+        matrix.tile(n, k),
+        matrix.tile(m, n),
+        rule,
+        counter=counter,
+        backend=backend,
+    )
+    return out, recomp
+
+
+def _commit_task(
+    tid, task, out, recomp, matrix, report, pooled, use_pool, stats_lock
+) -> None:
+    """Publish a validated task result: tile store, pool, tracker.
+
+    Shared by the sequential and parallel executors (``report`` carries
+    the same accounting surface in both; ``pooled`` maps buffer id ->
+    array for the factors currently owned by the pool, guarded by
+    ``stats_lock``).
+    """
+    kind = task.kind
+    if kind in (TaskKind.POTRF, TaskKind.SYRK):
+        return  # in-place kernels already updated the stored tile
+    dest = task.out_tile
+    # Any out-of-place commit displaces the stored tile; factors the pool
+    # still owns there must go back to the free lists (a TRSM overwriting
+    # a GEMM-recompressed tile would otherwise leak them — the chaos
+    # suite's pool audit checks exactly this).  Factors the new tile still
+    # references stay live: trsm_lr only solves V and reuses the U array.
+    old = matrix.tile(*dest)
+    if out is not old and isinstance(old, LowRankTile):
+        kept = (
+            {id(out.u), id(out.v)} if isinstance(out, LowRankTile) else set()
         )
-        if recomp is not None:
-            bm, bn = out.shape
-            # Transient stacked factors existed during recompression.
-            report.tracker.transient((bm + bn) * recomp.rank_before)
+        for arr in (old.u, old.v):
+            if id(arr) in kept:
+                continue
+            with stats_lock:
+                owned = pooled.pop(id(arr), None) is not None
+            if owned:
+                report.pool.release(arr)
+    if kind is TaskKind.GEMM and recomp is not None:
+        bm, bn = out.shape
+        # Transient stacked factors existed during recompression.
+        report.tracker.transient((bm + bn) * recomp.rank_before)
+        if use_pool:
+            # Re-associate the fresh exact-size factors with the pool —
+            # Section VII-B's two-stage designation.
+            if isinstance(out, LowRankTile) and out.rank > 0:
+                out = LowRankTile(
+                    report.pool.take(out.u), report.pool.take(out.v)
+                )
+                with stats_lock:
+                    pooled[id(out.u)] = out.u
+                    pooled[id(out.v)] = out.v
+        with stats_lock:
             if recomp.grew:
                 report.rank_growth_events += 1
-            if use_pool:
-                # Release the destination's previous factors back to
-                # the pool, then re-associate the fresh exact-size
-                # buffers — Section VII-B's two-stage designation.
-                old = matrix.tile(m, n)
-                if isinstance(old, LowRankTile):
-                    for arr in (old.u, old.v):
-                        if id(arr) in pooled:
-                            pooled.discard(id(arr))
-                            report.pool.release(arr)
-                if isinstance(out, LowRankTile) and out.rank > 0:
-                    out = LowRankTile(
-                        report.pool.take(out.u), report.pool.take(out.v)
-                    )
-                    pooled.add(id(out.u))
-                    pooled.add(id(out.v))
             report.max_rank_seen = max(report.max_rank_seen, recomp.rank_after)
-        matrix.set_tile(m, n, out)
-        report.tracker.allocate_tile((m, n), out)
+    matrix.set_tile(*dest, out)
+    if kind is TaskKind.GEMM:
+        report.tracker.allocate_tile(dest, out)
 
 
 def _canonical_tid(task) -> tuple:

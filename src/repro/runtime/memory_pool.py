@@ -100,3 +100,17 @@ class MemoryPool:
     def free_bytes(self) -> int:
         """Bytes currently parked in the free lists."""
         return sum(8 * n * len(bufs) for n, bufs in self._free.items())
+
+    @property
+    def live_count(self) -> int:
+        """Number of buffers currently checked out of the pool.
+
+        The chaos-stress audit asserts this equals the number of factor
+        arrays the factorized matrix still references — anything higher
+        is a leak (a failed task attempt that kept its buffers).
+        """
+        return len(self._live)
+
+    def owns(self, buf: np.ndarray) -> bool:
+        """True when ``buf`` is currently checked out of this pool."""
+        return id(buf) in self._live

@@ -23,6 +23,20 @@ quacks like a :class:`~repro.runtime.simulator.SimResult` (``trace``,
 :func:`repro.analysis.gantt.gantt`, :func:`repro.analysis.occupancy_summary`,
 :func:`repro.analysis.tracing.export_chrome_trace` — consumes real
 executions exactly as it consumes simulated ones.
+
+Resilience (same kwargs as the sequential executor): ``faults`` and
+``recovery`` run every task under the retry/rollback engine of
+:mod:`repro.runtime.resilience` — the deterministic fault draws depend
+only on (seed, task, attempt), so a chaotic parallel run still produces
+the bitwise-identical factor.  ``checkpoint``/``resume`` persist and
+restore the completed-task frontier: checkpoints are written at panel
+boundaries after *quiescing* the workers (no task in flight), so every
+archive is a consistent dataflow cut.
+
+Cancellation: ``KeyboardInterrupt``/``SystemExit`` raised inside a
+worker drain the ready queue, release every pool-owned factor buffer,
+and re-raise the original exception unchanged — ordinary kernel errors
+are still wrapped in :class:`RuntimeSystemError`.
 """
 
 from __future__ import annotations
@@ -36,18 +50,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
-from ..linalg import hcore
 from ..linalg.compression import TruncationRule
 from ..linalg.flops import FlopCounter
-from ..linalg.tiles import LowRankTile
 from ..matrix.memory import MemoryTracker
 from ..matrix.tlr_matrix import BandTLRMatrix
 from ..utils.exceptions import RuntimeSystemError, SchedulingError
 from ..utils.validation import check_positive_int
-from .executor import _canonical_tid
+from .executor import _canonical_tid, _commit_task, _compute_task
 from .graph import TaskGraph
 from .memory_pool import MemoryPool
-from .task import TaskKind, task_sort_key
+from .resilience import ResilienceReport, as_checkpointer, build_manager
+from .task import task_sort_key
 
 __all__ = [
     "ParallelExecutionReport",
@@ -133,6 +146,8 @@ class ParallelExecutionReport:
     rank_growth_events: int = 0
     max_rank_seen: int = 0
     tasks_executed: int = 0
+    tasks_resumed: int = 0
+    resilience: ResilienceReport | None = None
     n_workers: int = 1
     makespan: float = 0.0
     busy: np.ndarray = field(default_factory=lambda: np.zeros(1))
@@ -174,6 +189,10 @@ def execute_graph_parallel(
     scheduler: str = "priority",
     collect_trace: bool = False,
     backend=None,
+    faults=None,
+    recovery=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ParallelExecutionReport:
     """Execute a (non-expanded) Cholesky task graph on worker threads.
 
@@ -202,6 +221,20 @@ def execute_graph_parallel(
         Record per-task ``(tid, worker, start, end)`` tuples in seconds
         relative to launch — consumable by ``gantt`` and
         ``export_chrome_trace`` exactly like a simulator trace.
+    faults:
+        Fault-injection source (spec string / ``FaultPlan`` / injector);
+        implies the recovery engine.  Injection decisions depend only on
+        (seed, task, attempt), never on scheduling, so chaos runs are
+        reproducible across worker counts.
+    recovery:
+        A :class:`~repro.runtime.resilience.RecoveryPolicy`; ``None``
+        with ``faults`` set uses the default policy.
+    checkpoint:
+        Checkpoint directory (or ``CheckpointConfig``/``Checkpointer``);
+        written at panel boundaries after quiescing the workers.
+    resume:
+        Restore the latest checkpoint from ``checkpoint`` before
+        executing; completed tasks are skipped.
 
     Returns
     -------
@@ -214,6 +247,8 @@ def execute_graph_parallel(
     RuntimeSystemError
         On graph/matrix mismatch, an expanded graph, or when a kernel
         raised inside a worker (the original exception is chained).
+        ``KeyboardInterrupt``/``SystemExit`` are *not* wrapped: the run
+        cancels cleanly and re-raises them unchanged.
     """
     if scheduler not in ("priority", "fifo", "lifo"):
         raise SchedulingError(
@@ -244,12 +279,35 @@ def execute_graph_parallel(
     report.tracker.register_matrix(matrix)
     report.total_flops = graph.total_flops()
 
+    # --- resilience / checkpoint state --------------------------------
+    manager = build_manager(faults, recovery)
+    ckptr = as_checkpointer(checkpoint)
+    rrep = None
+    if manager is not None:
+        rrep = manager.report
+    elif ckptr is not None:
+        rrep = ResilienceReport()
+    report.resilience = rrep
+
+    completed: set[tuple] = set()
+    panels = {"done": 0, "since": 0, "due": False}
+    if resume and ckptr is not None:
+        ck = ckptr.load_latest()
+        if ck is not None:
+            ckptr.validate_against(graph, matrix, ck)
+            for ij, tile in ck.matrix.tiles.items():
+                matrix.set_tile(*ij, tile)
+            completed = set(ck.completed)
+            panels["done"] = ck.panels_done
+            report.tasks_resumed = len(completed)
+            rrep.tasks_resumed = len(completed)
+
     # --- dependency countdown state -----------------------------------
-    tids = list(graph.tasks)
+    pending = [tid for tid in graph.tasks if tid not in completed]
     indeg: dict[tuple, int] = {}
-    succs: dict[tuple, list[tuple]] = {tid: [] for tid in tids}
-    for tid, task in graph.tasks.items():
-        sources = {e.src for e in task.deps}
+    succs: dict[tuple, list[tuple]] = {tid: [] for tid in graph.tasks}
+    for tid in pending:
+        sources = {e.src for e in graph.tasks[tid].deps} - completed
         indeg[tid] = len(sources)
         for src in sources:
             succs[src].append(tid)
@@ -267,12 +325,17 @@ def execute_graph_parallel(
             return (-arrival_seq,)
         return task_sort_key(graph.tasks[tid])
 
-    for tid in tids:
+    for tid in pending:
         if indeg[tid] == 0:
             heapq.heappush(ready, (ready_key(tid), tid))
 
-    n_tasks = len(tids)
-    state = {"executed": 0, "inflight": 0, "failed": None}
+    n_tasks = len(pending)
+    state = {"executed": 0, "inflight": 0, "failed": None, "cancelled": False}
+
+    panel_remaining: dict[int, int] = {}
+    for tid in pending:
+        p = graph.tasks[tid].panel
+        panel_remaining[p] = panel_remaining.get(p, 0) + 1
 
     # --- shared numerical state ---------------------------------------
     # One lock per stored tile, held while *writing* that tile.  Reads
@@ -282,70 +345,48 @@ def execute_graph_parallel(
     # what lets GEMMs that share a panel tile update disjoint output
     # tiles concurrently.
     tile_locks = {ij: threading.Lock() for ij in matrix.tiles}
-    pooled: set[int] = set()  # ids of factor arrays owned by the pool
+    pooled: dict[int, np.ndarray] = {}  # id -> factor array owned by pool
     stats_lock = threading.Lock()
+
+    if manager is not None:
+
+        def _discard(tile) -> None:
+            from ..linalg.tiles import LowRankTile
+
+            if isinstance(tile, LowRankTile):
+                for arr in (tile.u, tile.v):
+                    with stats_lock:
+                        owned = pooled.pop(id(arr), None) is not None
+                    if owned:
+                        report.pool.release(arr)
+
+        manager.discard = _discard
 
     def run_task(tid: tuple) -> None:
         task = graph.tasks[tid]
-        kind = task.kind
-        if kind is TaskKind.POTRF:
-            (_, k) = tid
-            with tile_locks[(k, k)]:
-                hcore.potrf_dense(
-                    matrix.tile(k, k), counter=report.counter, tile_index=(k, k)
+        with tile_locks[task.out_tile]:
+            if manager is not None:
+                out, recomp = manager.run(
+                    task,
+                    matrix,
+                    lambda: _compute_task(
+                        tid, task, matrix, rule, backend, report.counter
+                    ),
                 )
-        elif kind is TaskKind.TRSM:
-            (_, m, k) = tid
-            with tile_locks[(m, k)]:
-                out = hcore.trsm_auto(
-                    matrix.tile(k, k), matrix.tile(m, k), counter=report.counter
+            else:
+                out, recomp = _compute_task(
+                    tid, task, matrix, rule, backend, report.counter
                 )
-                matrix.set_tile(m, k, out)
-        elif kind is TaskKind.SYRK:
-            (_, n, k) = tid
-            with tile_locks[(n, n)]:
-                hcore.syrk_auto(
-                    matrix.tile(n, k), matrix.tile(n, n), counter=report.counter
-                )
-        else:  # GEMM
-            (_, m, n, k) = tid
-            with tile_locks[(m, n)]:
-                out, _, recomp = hcore.gemm_auto(
-                    matrix.tile(m, k),
-                    matrix.tile(n, k),
-                    matrix.tile(m, n),
-                    rule,
-                    counter=report.counter,
-                    backend=backend,
-                )
-                if recomp is not None:
-                    bm, bn = out.shape
-                    report.tracker.transient((bm + bn) * recomp.rank_before)
-                    if use_pool:
-                        old = matrix.tile(m, n)
-                        if isinstance(old, LowRankTile):
-                            for arr in (old.u, old.v):
-                                with stats_lock:
-                                    owned = id(arr) in pooled
-                                    if owned:
-                                        pooled.discard(id(arr))
-                                if owned:
-                                    report.pool.release(arr)
-                        if isinstance(out, LowRankTile) and out.rank > 0:
-                            out = LowRankTile(
-                                report.pool.take(out.u), report.pool.take(out.v)
-                            )
-                            with stats_lock:
-                                pooled.add(id(out.u))
-                                pooled.add(id(out.v))
-                    with stats_lock:
-                        if recomp.grew:
-                            report.rank_growth_events += 1
-                        report.max_rank_seen = max(
-                            report.max_rank_seen, recomp.rank_after
-                        )
-                matrix.set_tile(m, n, out)
-                report.tracker.allocate_tile((m, n), out)
+            _commit_task(
+                tid, task, out, recomp, matrix, report, pooled,
+                use_pool, stats_lock,
+            )
+
+    def write_checkpoint() -> None:
+        """Persist the frontier; caller holds ``cond`` with no task
+        in flight, so the tile state is a consistent dataflow cut."""
+        ckptr.save(matrix, completed, panels["done"])
+        rrep.checkpoints_written += 1
 
     busy = np.zeros(n_workers)
     traces: list[list[tuple]] = [[] for _ in range(n_workers)]
@@ -358,25 +399,34 @@ def execute_graph_parallel(
     def worker(wid: int) -> None:
         while True:
             with cond:
-                while (
-                    not ready
-                    and state["executed"] + state["inflight"] < n_tasks
-                    and state["failed"] is None
-                ):
-                    cond.wait()
-                if state["failed"] is not None or (
-                    not ready and state["inflight"] == 0
-                ):
-                    return
-                if not ready:
-                    # Peers are still executing; their completions may
-                    # feed the queue — wait for the next signal.
+                while True:
+                    if state["failed"] is not None:
+                        return
+                    if panels["due"]:
+                        if state["inflight"] == 0:
+                            # Quiesced: this worker writes the
+                            # checkpoint while peers wait.
+                            try:
+                                write_checkpoint()
+                            except Exception as exc:
+                                state["failed"] = exc
+                                cond.notify_all()
+                                return
+                            panels["due"] = False
+                            panels["since"] = 0
+                            cond.notify_all()
+                        else:
+                            cond.wait(timeout=0.05)
+                            continue
+                    if ready:
+                        _, tid = heapq.heappop(ready)
+                        state["inflight"] += 1
+                        if observing:
+                            obs.sample("ready_queue_depth", len(ready))
+                        break
+                    if state["executed"] + state["inflight"] >= n_tasks:
+                        return
                     cond.wait(timeout=0.05)
-                    continue
-                _, tid = heapq.heappop(ready)
-                state["inflight"] += 1
-                if observing:
-                    obs.sample("ready_queue_depth", len(ready))
             start = time.perf_counter() - t0
             try:
                 if observing:
@@ -384,10 +434,22 @@ def execute_graph_parallel(
                         run_task(tid)
                 else:
                     run_task(tid)
-            except BaseException as exc:  # propagate to the caller
+            except Exception as exc:  # propagate to the caller (wrapped)
                 with cond:
                     if state["failed"] is None:
                         state["failed"] = exc
+                    state["inflight"] -= 1
+                    cond.notify_all()
+                return
+            except BaseException as exc:
+                # KeyboardInterrupt / SystemExit: cancel cleanly — drain
+                # the ready queue so peers stop picking work, and let the
+                # caller release pool buffers and re-raise unchanged.
+                with cond:
+                    if state["failed"] is None:
+                        state["failed"] = exc
+                        state["cancelled"] = True
+                    ready.clear()
                     state["inflight"] -= 1
                     cond.notify_all()
                 return
@@ -398,6 +460,18 @@ def execute_graph_parallel(
             with cond:
                 state["inflight"] -= 1
                 state["executed"] += 1
+                completed.add(tid)
+                task = graph.tasks[tid]
+                panel_remaining[task.panel] -= 1
+                if panel_remaining[task.panel] == 0:
+                    panels["done"] += 1
+                    panels["since"] += 1
+                    if (
+                        ckptr is not None
+                        and panels["since"] >= ckptr.config.every
+                        and state["executed"] < n_tasks
+                    ):
+                        panels["due"] = True
                 released = 0
                 for succ in succs[tid]:
                     indeg[succ] -= 1
@@ -406,17 +480,21 @@ def execute_graph_parallel(
                         released += 1
                 if observing and released:
                     obs.sample("ready_queue_depth", len(ready))
-                if state["executed"] == n_tasks or released:
+                if state["executed"] == n_tasks or released or panels["due"]:
                     cond.notify_all()
 
     threads = [
         threading.Thread(target=worker, args=(w,), name=f"repro-worker-{w}")
         for w in range(n_workers)
     ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        if manager is not None:
+            manager.close()
 
     report.makespan = time.perf_counter() - t0
     report.busy = busy
@@ -445,6 +523,16 @@ def execute_graph_parallel(
         )
 
     if state["failed"] is not None:
+        if state["cancelled"]:
+            # Clean cancellation: no task is running, so every buffer
+            # the pool still considers live can be returned before the
+            # interrupt continues up the stack.
+            with stats_lock:
+                leaked = list(pooled.values())
+                pooled.clear()
+            for arr in leaked:
+                report.pool.release(arr)
+            raise state["failed"]
         raise RuntimeSystemError(
             f"worker failed while executing the graph: {state['failed']}"
         ) from state["failed"]
@@ -453,4 +541,8 @@ def execute_graph_parallel(
             f"parallel execution deadlocked: {state['executed']} of "
             f"{n_tasks} tasks completed (cyclic graph?)"
         )
+    if ckptr is not None and state["executed"]:
+        # Final checkpoint: resuming a finished run is a no-op.
+        with cond:
+            write_checkpoint()
     return report

@@ -19,6 +19,7 @@ import threading
 from collections.abc import Callable, Sequence
 
 from .. import obs
+from ..utils.exceptions import TransientFaultError
 
 __all__ = ["parallel_map"]
 
@@ -30,6 +31,7 @@ def parallel_map(
     *,
     label: str | None = None,
     category: str = "workpool",
+    retries: int = 0,
 ):
     """Apply ``fn`` to every item on ``n_workers`` threads, keeping order.
 
@@ -42,6 +44,11 @@ def parallel_map(
     is recorded as one span named ``label`` under ``category`` (carrying
     the item index), and the pool's width and item count land in the
     metrics registry — the workpool's occupancy surface.
+
+    ``retries`` re-runs an item that raised
+    :class:`~repro.utils.exceptions.TransientFaultError` up to that many
+    extra times (the flat-pool counterpart of the graph executors'
+    recovery engine); other exceptions propagate immediately.
     """
     items = list(items)
     if label is not None and obs.enabled():
@@ -56,6 +63,18 @@ def parallel_map(
 
         def call(idx: int, item):
             return fn(item)
+
+    if retries:
+        attempt_once = call
+
+        def call(idx: int, item):
+            for attempt in range(retries + 1):
+                try:
+                    return attempt_once(idx, item)
+                except TransientFaultError:
+                    if attempt == retries:
+                        raise
+                    obs.counter_add("task_retried", kind="workpool")
 
     if n_workers is None or n_workers <= 1 or len(items) <= 1:
         return [call(idx, item) for idx, item in enumerate(items)]

@@ -1,0 +1,12 @@
+"""Chaos-testing support: deterministic fault injection (``repro.testing``).
+
+The production counterpart lives in :mod:`repro.runtime.resilience`; this
+package holds the *adversary* — seeded fault plans that make Table-I
+kernels fail on purpose so the recovery machinery can be exercised and
+regression-tested.  Importing it never changes library behaviour: faults
+only fire when a plan is explicitly passed to an executor.
+"""
+
+from .faults import FaultClause, FaultInjector, FaultKind, FaultPlan
+
+__all__ = ["FaultClause", "FaultInjector", "FaultKind", "FaultPlan"]

@@ -1,0 +1,252 @@
+"""Deterministic, seeded fault injection for the task executors.
+
+The paper's runs hold task graphs alive for hours across thousands of
+nodes; PaRSEC must absorb transient kernel failures, memory pressure, and
+stragglers without losing the factorization.  Our reproduction exercises
+the same recovery machinery (:mod:`repro.runtime.resilience`) with a
+*deterministic* adversary: a :class:`FaultPlan` decides — from the seed,
+the task id, and the attempt number alone — whether a fault fires.  The
+decision is independent of worker count, scheduling order, and wall
+clock, so a chaotic run is exactly reproducible and the recovered result
+can be compared bitwise against a fault-free run.
+
+Fault spec grammar (the CLI's ``--faults`` argument)::
+
+    SPEC   := CLAUSE ("," CLAUSE)*
+    CLAUSE := KIND ":" KERNEL ":" RATE [":" PARAM]
+    KIND   := "transient" | "nan" | "oom" | "stall"
+    KERNEL := "potrf" | "trsm" | "syrk" | "gemm" | "*"
+    RATE   := float in [0, 1]       (per-attempt firing probability)
+    PARAM  := float                 (stall duration in seconds; stall only)
+
+Examples::
+
+    transient:gemm:0.05                 5% of GEMM dispatches raise
+    nan:potrf:0.01,oom:*:0.02           NaN-corrupt 1% of POTRF outputs,
+                                        fail 2% of all dispatches with a
+                                        simulated pool exhaustion
+    stall:trsm:0.1:0.5                  10% of TRSMs hang for 0.5 s (the
+                                        watchdog requeues them sooner)
+
+The four kinds map to the failure modes of Table-I kernel classes:
+
+* ``transient`` — the dispatch raises
+  :class:`~repro.utils.exceptions.TransientFaultError` *before* the
+  kernel runs (a lost task activation);
+* ``nan`` — the kernel runs, then its output tile is corrupted with NaN
+  (a numerical breakdown caught by post-condition validation);
+* ``oom`` — the dispatch raises
+  :class:`~repro.utils.exceptions.PoolExhaustedError` (the
+  :class:`~repro.runtime.memory_pool.MemoryPool` could not serve the
+  task's workspace);
+* ``stall`` — the task sleeps on the watchdog's cancellation event (a
+  straggler worker); when the watchdog fires, the sleep aborts with
+  :class:`~repro.utils.exceptions.StalledTaskError` and the task is
+  requeued.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.exceptions import (
+    FaultSpecError,
+    PoolExhaustedError,
+    StalledTaskError,
+    TransientFaultError,
+)
+
+__all__ = ["FaultKind", "FaultClause", "FaultPlan", "FaultInjector"]
+
+_KINDS = ("transient", "nan", "oom", "stall")
+_KERNELS = ("potrf", "trsm", "syrk", "gemm", "*")
+
+#: Fault kind name (see module docstring for semantics).
+FaultKind = str
+
+_DEFAULT_STALL_S = 0.05
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One clause of a fault plan: *kind* faults on *kernel* at *rate*."""
+
+    kind: FaultKind
+    kernel: str  # potrf | trsm | syrk | gemm | *
+    rate: float
+    param: float = 0.0  # stall duration (s) for kind == "stall"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r} (expected one of {_KINDS})"
+            )
+        if self.kernel not in _KERNELS:
+            raise FaultSpecError(
+                f"unknown kernel {self.kernel!r} (expected one of {_KERNELS})"
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise FaultSpecError(f"rate must be in [0, 1], got {self.rate}")
+        if self.param < 0.0:
+            raise FaultSpecError(f"param must be >= 0, got {self.param}")
+
+    def matches(self, kernel: str) -> bool:
+        return self.kernel == "*" or self.kernel == kernel
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable set of fault clauses.
+
+    The plan is pure data; call :meth:`injector` for the stateful object
+    the executors drive (it counts what actually fired).
+    """
+
+    clauses: tuple[FaultClause, ...]
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, spec: str, *, seed: int = 0) -> "FaultPlan":
+        """Parse the ``kind:kernel:rate[:param]`` comma grammar above."""
+        if not isinstance(spec, str) or not spec.strip():
+            raise FaultSpecError(f"empty fault spec {spec!r}")
+        clauses = []
+        for raw in spec.split(","):
+            parts = raw.strip().split(":")
+            if len(parts) not in (3, 4):
+                raise FaultSpecError(
+                    f"clause {raw.strip()!r} is not kind:kernel:rate[:param]"
+                )
+            kind, kernel = parts[0].strip().lower(), parts[1].strip().lower()
+            try:
+                rate = float(parts[2])
+            except ValueError as exc:
+                raise FaultSpecError(
+                    f"clause {raw.strip()!r} has a non-numeric rate"
+                ) from exc
+            param = _DEFAULT_STALL_S if kind == "stall" else 0.0
+            if len(parts) == 4:
+                try:
+                    param = float(parts[3])
+                except ValueError as exc:
+                    raise FaultSpecError(
+                        f"clause {raw.strip()!r} has a non-numeric param"
+                    ) from exc
+            clauses.append(FaultClause(kind, kernel, rate, param))
+        return cls(clauses=tuple(clauses), seed=seed)
+
+    def injector(self) -> "FaultInjector":
+        """A fresh stateful injector for one execution of this plan."""
+        return FaultInjector(self)
+
+
+def _fires(seed: int, clause_idx: int, clause: FaultClause, tid: tuple,
+           attempt: int) -> bool:
+    """The deterministic coin flip for one (clause, task, attempt).
+
+    A SHA-256 digest of the identifying tuple is mapped to [0, 1); the
+    draw depends on nothing else — not the scheduler, not the worker
+    count, not previous draws — which is what makes chaos runs exactly
+    reproducible across executors.
+    """
+    tid_str = ":".join([tid[0].name, *(str(x) for x in tid[1:])])
+    key = f"{seed}|{clause_idx}|{clause.kind}|{tid_str}|{attempt}"
+    digest = hashlib.sha256(key.encode("ascii")).digest()
+    draw = int.from_bytes(digest[:8], "big") / 2**64
+    return draw < clause.rate
+
+
+@dataclass
+class FaultInjector:
+    """Stateful driver of a :class:`FaultPlan` for one execution.
+
+    The executors call :meth:`pre_dispatch` at the task-dispatch boundary
+    (before the kernel) and :meth:`corrupt_output` after it.  ``counts``
+    records what fired, keyed by fault kind; access is thread-safe.
+    """
+
+    plan: FaultPlan
+    counts: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return sum(self.counts.values())
+
+    def _record(self, kind: str, kernel: str) -> None:
+        with self._lock:
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+        # Lazy import keeps repro.testing importable without repro.obs.
+        from .. import obs
+
+        obs.counter_add("fault_injected", kind=kind, kernel=kernel)
+
+    def pre_dispatch(
+        self,
+        tid: tuple,
+        attempt: int,
+        cancel_event: threading.Event | None = None,
+    ) -> None:
+        """Fire dispatch-boundary faults for this (task, attempt).
+
+        Raises ``TransientFaultError`` / ``PoolExhaustedError``, or — for
+        stalls — sleeps on ``cancel_event`` and raises
+        ``StalledTaskError`` if the watchdog cancels the wait.  Without a
+        cancel event the stall is a plain sleep (slow task, no failure).
+        """
+        kernel = tid[0].name.lower()
+        for idx, clause in enumerate(self.plan.clauses):
+            if not clause.matches(kernel) or clause.kind == "nan":
+                continue
+            if not _fires(self.plan.seed, idx, clause, tid, attempt):
+                continue
+            self._record(clause.kind, kernel)
+            if clause.kind == "transient":
+                raise TransientFaultError(
+                    f"injected transient fault on {tid} (attempt {attempt})",
+                    tid,
+                )
+            if clause.kind == "oom":
+                raise PoolExhaustedError(
+                    f"injected MemoryPool exhaustion on {tid} "
+                    f"(attempt {attempt})",
+                    tid,
+                )
+            # stall: cooperative straggler simulation
+            if cancel_event is not None:
+                if cancel_event.wait(clause.param):
+                    raise StalledTaskError(
+                        f"task {tid} stalled past the watchdog timeout "
+                        f"(attempt {attempt})",
+                        tid,
+                    )
+            else:
+                time.sleep(clause.param)
+
+    def corrupt_output(self, tid: tuple, attempt: int, tile) -> bool:
+        """NaN-corrupt the task's output tile if a ``nan`` clause fires.
+
+        Returns True when a corruption was applied (post-condition
+        validation then detects it and rolls the task back).
+        """
+        kernel = tid[0].name.lower()
+        for idx, clause in enumerate(self.plan.clauses):
+            if clause.kind != "nan" or not clause.matches(kernel):
+                continue
+            if not _fires(self.plan.seed, idx, clause, tid, attempt):
+                continue
+            data = getattr(tile, "data", None)
+            if data is None:  # LowRankTile
+                if tile.rank == 0:
+                    continue  # nothing to corrupt deterministically
+                data = tile.u
+            data.flat[0] = np.nan
+            self._record("nan", kernel)
+            return True
+        return False

@@ -18,6 +18,13 @@ __all__ = [
     "RuntimeSystemError",
     "SchedulingError",
     "MemoryPoolError",
+    "TransientFaultError",
+    "PoolExhaustedError",
+    "StalledTaskError",
+    "CorruptedOutputError",
+    "TaskAbortedError",
+    "CheckpointError",
+    "FaultSpecError",
 ]
 
 
@@ -70,3 +77,52 @@ class SchedulingError(RuntimeSystemError):
 
 class MemoryPoolError(RuntimeSystemError):
     """The dynamic memory allocator detected a misuse (double free, ...)."""
+
+
+class TransientFaultError(RuntimeSystemError):
+    """A task failed in a way expected to succeed on re-execution.
+
+    The recovery policy engine (:mod:`repro.runtime.resilience`) treats
+    this class — and its subclasses below — as *retryable*: the task's
+    destination tile is rolled back to its pre-attempt state and the task
+    is re-dispatched with capped exponential backoff.
+
+    Attributes
+    ----------
+    tid:
+        Task id the fault hit, or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, tid: tuple | None = None):
+        super().__init__(message)
+        self.tid = tid
+
+
+class PoolExhaustedError(TransientFaultError, MemoryPoolError):
+    """A :class:`MemoryPool` allocation could not be served (simulated or
+    real out-of-memory).  Retryable: peers release buffers over time."""
+
+
+class StalledTaskError(TransientFaultError):
+    """A task exceeded the watchdog timeout and was requeued.
+
+    Raised *inside* the stalled task by the cooperative cancellation
+    event — worker threads cannot be preempted, so stalls abort at the
+    next cancellation point (fault-injected stalls poll the event)."""
+
+
+class CorruptedOutputError(TransientFaultError):
+    """A kernel's output failed the NaN/inf post-condition validation."""
+
+
+class TaskAbortedError(RuntimeSystemError):
+    """A task exhausted its retry budget; the original fault is chained."""
+
+
+class CheckpointError(RuntimeSystemError):
+    """A checkpoint archive is missing, incomplete, or does not match the
+    graph/matrix it is being restored into."""
+
+
+class FaultSpecError(ConfigurationError):
+    """A fault-plan specification string could not be parsed."""
