@@ -17,14 +17,16 @@ reduced scale (see DESIGN.md's experiment index).  Conventions:
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 import pytest
 
-from repro import TruncationRule, st_3d_exp_problem
+from repro import TruncationRule, perf, st_3d_exp_problem
 from repro.matrix import BandTLRMatrix
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: The scaled stand-ins for the paper's two reference matrix sizes
 #: (N = 1.08M and 2.16M with b = 2400 -> NT = 450/900).  We keep the
@@ -42,6 +44,36 @@ SCALED_B_LARGE = 600  # NT = 24
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def perf_timer():
+    """Median/IQR timing through :mod:`repro.perf`, persisted to history.
+
+    Yields ``timer(name, fn, *, config=None, repeats=3, warmup=0)`` →
+    :class:`repro.perf.Timing`.  Every measurement taken through it is
+    appended to the repo-root ``BENCH_history.jsonl`` when the session
+    ends, under one ``ablation-<utc>`` run label — so ablation benches
+    and ``python -m repro bench`` feed the same comparable trajectory.
+    """
+    records: list[perf.BenchRecord] = []
+    run = "ablation-" + time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    ts = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+    def timer(name, fn, *, config=None, repeats=3, warmup=0):
+        timing = perf.measure(fn, warmup=warmup, repeats=repeats)
+        records.append(
+            perf.BenchRecord(
+                name=name, run=run, timing=timing,
+                config=dict(config or {}), ts=ts, warmup=warmup,
+            )
+        )
+        return timing
+
+    yield timer
+    if records:
+        path = perf.append_history(records, REPO_ROOT)
+        print(f"\n[perf] {len(records)} records appended to {path} (run {run})")
 
 
 @pytest.fixture(scope="session")

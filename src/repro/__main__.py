@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six focused commands mirroring the library's main entry points:
+Nine focused commands mirroring the library's main entry points:
 
 * ``info``      — version and subsystem inventory;
 * ``demo``      — compress → auto-tune → factorize → solve, with a report;
@@ -8,12 +8,18 @@ Six focused commands mirroring the library's main entry points:
 * ``simulate``  — replay a Cholesky DAG on the machine simulator;
 * ``execute``   — run the DAG for real on the parallel thread-pool
   executor, with occupancy/Gantt/Chrome-trace artifacts;
-* ``report``    — render the telemetry of a ``--obs`` run as a text report.
+* ``report``    — render the telemetry of a ``--obs`` run as a text report;
+* ``analyze``   — trace analytics on a ``--obs`` run: realized critical
+  path, per-worker occupancy, per-kernel achieved GFLOP/s;
+* ``bench``     — run the standing benchmark suite and append
+  median/IQR records to ``BENCH_history.jsonl``;
+* ``compare``   — noise-aware regression gate between two bench runs or
+  two ``--obs`` trace directories (exit 1 on a gated regression).
 
 ``demo`` and ``execute`` accept ``--obs DIR``: the run executes under an
-active :mod:`repro.obs` observation and writes the four standard artifacts
-(``trace.json``, ``events.jsonl``, ``summary.json``, ``metrics.prom``)
-into ``DIR``.
+active :mod:`repro.obs` observation and writes the standard artifacts
+(``trace.json``, ``events.jsonl``, ``summary.json``, ``metrics.prom``,
+plus ``graph.json`` when a graph executor ran) into ``DIR``.
 """
 
 from __future__ import annotations
@@ -317,6 +323,73 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.analytics import load_run, render_analysis
+
+    run = load_run(args.path)
+    print(render_analysis(run, width=args.width, buckets=args.buckets))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import perf
+
+    kind = "smoke" if args.smoke else "full"
+    print(f"running {kind} benchmark suite "
+          f"(warmup={args.warmup}, repeats={args.repeats})")
+    records = perf.run_suite(
+        smoke=args.smoke,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        label=args.label,
+        name_filter=args.filter,
+        progress=print,
+    )
+    if not records:
+        print("no benchmarks matched --filter")
+        return 1
+    path = perf.append_history(records, args.out)
+    print(f"{len(records)} records appended to {path} "
+          f"(run '{records[0].run}', schema v{perf.SCHEMA_VERSION})")
+    print(f"gate with: python -m repro compare BASE.jsonl {path}")
+    return 0
+
+
+def _is_obs_dir(path: str) -> bool:
+    from pathlib import Path
+
+    return (Path(path) / "events.jsonl").exists()
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if _is_obs_dir(args.base) and _is_obs_dir(args.head):
+        from repro.obs.analytics import load_run, render_diff, trace_diff
+
+        diff = trace_diff(
+            load_run(args.base), load_run(args.head),
+            threshold=args.threshold,
+        )
+        print(render_diff(diff))
+        return 1 if diff.has_regression else 0
+
+    from repro import perf
+
+    base_p, head_p = Path(args.base), Path(args.head)
+    for p in (base_p, head_p):
+        if not (p.is_file() or (p.is_dir() and (p / perf.HISTORY_FILE).exists())):
+            print(f"error: {p} is neither an --obs run directory nor a "
+                  f"bench history (.jsonl / directory containing "
+                  f"{perf.HISTORY_FILE})", file=sys.stderr)
+            return 2
+    base = perf.latest_run(perf.load_history(base_p))
+    head = perf.latest_run(perf.load_history(head_p))
+    result = perf.compare_records(base, head, threshold=args.threshold)
+    print(perf.render_compare(result))
+    return 1 if result.has_regression else 0
+
+
 def _add_resilience_args(sp: argparse.ArgumentParser) -> None:
     """Fault-injection and checkpoint flags shared by demo/execute."""
     sp.add_argument("--faults", type=str, default=None, metavar="SPEC",
@@ -419,6 +492,50 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("path", help="--obs directory (or a summary.json inside one)")
     r.add_argument("--width", type=int, default=80,
                    help="report width in characters")
+
+    a = sub.add_parser(
+        "analyze",
+        help="trace analytics on a --obs run: critical path, occupancy, "
+             "per-kernel flop rates",
+    )
+    a.add_argument("path", help="--obs directory (or a file inside one)")
+    a.add_argument("--width", type=int, default=80,
+                   help="report width in characters")
+    a.add_argument("--buckets", type=int, default=60,
+                   help="time buckets of the occupancy timeline")
+
+    b = sub.add_parser(
+        "bench",
+        help="run the standing benchmark suite and append median/IQR "
+             "records to the history file",
+    )
+    b.add_argument("--smoke", action="store_true",
+                   help="small sizes for CI runners (seconds, not minutes)")
+    b.add_argument("--out", type=str, default="BENCH_history.jsonl",
+                   metavar="PATH",
+                   help="history file (or directory) to append to")
+    b.add_argument("--repeats", type=int, default=5,
+                   help="timed repetitions per benchmark")
+    b.add_argument("--warmup", type=int, default=1,
+                   help="untimed warmup runs per benchmark")
+    b.add_argument("--label", type=str, default=None,
+                   help="run label recorded with every record "
+                        "(default: UTC timestamp)")
+    b.add_argument("--filter", type=str, default=None, metavar="SUBSTR",
+                   help="only run benchmarks whose name contains SUBSTR")
+
+    c = sub.add_parser(
+        "compare",
+        help="noise-aware regression gate between two bench runs or two "
+             "--obs trace directories (exit 1 on regression)",
+    )
+    c.add_argument("base", help="baseline: bench history (.jsonl) or --obs "
+                                "run directory; the latest run in a history "
+                                "is used")
+    c.add_argument("head", help="candidate: same forms as BASE")
+    c.add_argument("--threshold", type=float, default=0.25,
+                   help="relative slowdown that may gate; a delta must "
+                        "also exceed the measured IQR to count")
     return p
 
 
@@ -432,6 +549,9 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "execute": _cmd_execute,
         "report": _cmd_report,
+        "analyze": _cmd_analyze,
+        "bench": _cmd_bench,
+        "compare": _cmd_compare,
     }
     return handlers[args.command](args)
 

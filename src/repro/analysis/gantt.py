@@ -11,12 +11,23 @@ views:
   columns, each cell showing the kernel class that dominated the bucket;
 * :func:`utilization_timeline` — busy-core counts over time, the classic
   "how full was the machine" curve.
+
+.. deprecated::
+    This module predates :mod:`repro.obs` and survives as a thin view
+    layer: lane reconstruction is delegated to
+    :func:`repro.obs.exporters.assign_lanes` (the same scheme the Chrome
+    exporter uses), and recorded runs are better served by
+    ``python -m repro analyze`` /
+    :func:`repro.obs.analytics.occupancy`, which work from real task
+    spans instead of simulator tuples.  No removal planned while the
+    simulator keeps producing tuple traces.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..obs.exporters import assign_lanes
 from ..runtime.parallel import ParallelExecutionReport
 from ..runtime.simulator import SimResult
 from ..runtime.task import TaskKind
@@ -60,18 +71,9 @@ def gantt(
         return "(empty trace)"
     width = max(10, width)
 
-    # Greedy lane assignment per process.
-    lanes: dict[int, list[float]] = {}  # proc -> lane end times
+    # Greedy lane assignment per process (shared with the Chrome exporter).
     rows: dict[tuple[int, int], list[tuple]] = {}
-    for tid, proc, start, end in sorted(trace, key=lambda r: (r[1], r[2])):
-        ends = lanes.setdefault(proc, [])
-        for lane, t_end in enumerate(ends):
-            if start >= t_end - 1e-15:
-                ends[lane] = end
-                break
-        else:
-            lane = len(ends)
-            ends.append(end)
+    for tid, proc, lane, start, end in assign_lanes(trace):
         rows.setdefault((proc, lane), []).append((tid, start, end))
 
     dt = result.makespan / width

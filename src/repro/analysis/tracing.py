@@ -14,6 +14,12 @@ The actual serialization lives in :func:`repro.obs.exporters.write_chrome_trace`
 (which also accepts live :class:`~repro.obs.tracer.Tracer` objects); this
 module keeps the historical entry point and its
 :class:`~repro.utils.exceptions.ConfigurationError` contract.
+
+.. deprecated::
+    New code should call :func:`repro.obs.exporters.write_chrome_trace`
+    directly (or record the run with ``--obs`` and use the written
+    ``trace.json``); this wrapper exists only for callers relying on the
+    pre-obs import path and error type.
 """
 
 from __future__ import annotations

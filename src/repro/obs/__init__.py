@@ -38,10 +38,22 @@ import threading
 import time
 from contextlib import contextmanager
 
+from .analytics import (
+    RunTrace,
+    critical_path,
+    flop_attribution,
+    load_run,
+    occupancy,
+    render_analysis,
+    render_diff,
+    run_from_observation,
+    trace_diff,
+)
 from .exporters import (
     prometheus_text,
     write_chrome_trace,
     write_events_jsonl,
+    write_graph_json,
     write_prometheus,
     write_summary_json,
 )
@@ -62,6 +74,7 @@ __all__ = [
     "sample",
     "kernel_observed",
     "pool_observed",
+    "graph_observed",
     "Tracer",
     "NullTracer",
     "SpanRecord",
@@ -70,8 +83,18 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Series",
+    "RunTrace",
+    "run_from_observation",
+    "load_run",
+    "critical_path",
+    "occupancy",
+    "flop_attribution",
+    "trace_diff",
+    "render_analysis",
+    "render_diff",
     "write_chrome_trace",
     "write_events_jsonl",
+    "write_graph_json",
     "write_summary_json",
     "write_prometheus",
     "prometheus_text",
@@ -92,6 +115,7 @@ class Observation:
         self.tracer = Tracer()
         self.metrics = MetricsRegistry(t0=self.tracer.t0)
         self.meta: dict = dict(meta or {})
+        self.graph: dict | None = None
         self._wall: float | None = None
 
     # -- lifecycle -----------------------------------------------------
@@ -129,22 +153,27 @@ class Observation:
         return render_report(self.summary(), width=width)
 
     def write(self, outdir) -> dict:
-        """Write all four artifacts into ``outdir``; returns their paths.
+        """Write the run's artifacts into ``outdir``; returns their paths.
 
         ``trace.json`` (Chrome/Perfetto), ``events.jsonl`` (raw record),
-        ``summary.json`` (report input), ``metrics.prom`` (Prometheus).
+        ``summary.json`` (report input), ``metrics.prom`` (Prometheus),
+        plus ``graph.json`` (dependency DAG) when a graph executor ran
+        under this observation.
         """
         from pathlib import Path
 
         outdir = Path(outdir)
         outdir.mkdir(parents=True, exist_ok=True)
         self.close()
-        return {
+        paths = {
             "chrome": write_chrome_trace(self.tracer, outdir / "trace.json"),
             "events": write_events_jsonl(self.tracer, outdir / "events.jsonl"),
             "summary": write_summary_json(self, outdir / "summary.json"),
             "prometheus": write_prometheus(self.metrics, outdir / "metrics.prom"),
         }
+        if self.graph is not None:
+            paths["graph"] = write_graph_json(self.graph, outdir / "graph.json")
+        return paths
 
 
 # ----------------------------------------------------------------------
@@ -236,6 +265,37 @@ def kernel_observed(kernel: str, flops: float) -> None:
     if ob is not None:
         ob.metrics.counter("kernel_flops", kernel=kernel).inc(flops)
         ob.metrics.counter("kernel_invocations", kernel=kernel).inc()
+
+
+def graph_observed(graph, task_name) -> None:
+    """Register the executing :class:`~repro.runtime.graph.TaskGraph`.
+
+    Called by both graph executors before dispatch.  Stores a
+    JSON-ready document keyed by the executors' *span names* (via the
+    shared ``task_name`` mapping) so the analytics layer can join task
+    spans with dependency edges; written to ``graph.json`` by
+    :meth:`Observation.write`.  Duck-typed (graph/tasks/deps attribute
+    access only) so :mod:`repro.obs` keeps zero intra-repro imports.
+    """
+    ob = active()
+    if ob is None:
+        return
+    tasks = {}
+    for tid, task in graph.tasks.items():
+        tasks[task_name(tid)] = {
+            "kernel": task.kernel.value,
+            "flops": task.flops,
+            "panel": task.panel,
+            "out_tile": list(task.out_tile),
+            "deps": sorted({task_name(e.src) for e in task.deps}),
+        }
+    ob.graph = {
+        "ntiles": getattr(graph, "ntiles", None),
+        "band_size": getattr(graph, "band_size", None),
+        "tile_size": getattr(graph, "tile_size", None),
+        "n_tasks": len(tasks),
+        "tasks": tasks,
+    }
 
 
 def pool_observed(stats, pool: str) -> None:

@@ -26,8 +26,10 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
 from .tracer import Tracer
 
 __all__ = [
+    "assign_lanes",
     "write_chrome_trace",
     "write_events_jsonl",
+    "write_graph_json",
     "prometheus_text",
     "write_prometheus",
     "write_summary_json",
@@ -42,18 +44,27 @@ def _ensure_suffix(path: str | Path, suffix: str) -> Path:
     return path
 
 
-# ----------------------------------------------------------------------
-# Chrome trace
-# ----------------------------------------------------------------------
-def _chrome_events_from_result(result) -> tuple[list[dict], dict]:
-    """Events from a ``SimResult``/``ParallelExecutionReport`` trace.
+def _json_attr(value):
+    """JSON-native scalars pass through; everything else is repr'd.
 
-    Processes map to pids, greedily reconstructed core lanes to tids
-    (the same scheme as :func:`repro.analysis.gantt.gantt`).
+    Keeping ints/floats/strings native lets :mod:`repro.obs.analytics`
+    read ``kernel``/``flops`` span annotations back without parsing.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def assign_lanes(trace) -> list[tuple[tuple, int, int, float, float]]:
+    """Greedy lane reconstruction for ``(tid, proc, start, end)`` traces.
+
+    Returns ``(tid, proc, lane, start, end)`` rows sorted by process and
+    start time; the single source of the lane scheme shared by the
+    Chrome exporter and :func:`repro.analysis.gantt.gantt`.
     """
     lanes: dict[int, list[float]] = {}
-    events = []
-    for tid, proc, start, end in sorted(result.trace, key=lambda r: (r[1], r[2])):
+    rows = []
+    for tid, proc, start, end in sorted(trace, key=lambda r: (r[1], r[2])):
         ends = lanes.setdefault(proc, [])
         for lane, t_end in enumerate(ends):
             if start >= t_end - 1e-15:
@@ -62,6 +73,21 @@ def _chrome_events_from_result(result) -> tuple[list[dict], dict]:
         else:
             lane = len(ends)
             ends.append(end)
+        rows.append((tid, proc, lane, start, end))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+def _chrome_events_from_result(result) -> tuple[list[dict], dict]:
+    """Events from a ``SimResult``/``ParallelExecutionReport`` trace.
+
+    Processes map to pids, greedily reconstructed core lanes to tids
+    (via :func:`assign_lanes`, shared with :func:`repro.analysis.gantt.gantt`).
+    """
+    events = []
+    for tid, proc, lane, start, end in assign_lanes(result.trace):
         kind = tid[0].value if hasattr(tid[0], "value") else str(tid[0])
         events.append(
             {
@@ -105,7 +131,7 @@ def _chrome_events_from_tracer(tracer: Tracer) -> tuple[list[dict], dict]:
                 "dur": max(rec.duration, 0.0) * 1e6,
                 "pid": 0,
                 "tid": threads[rec.thread],
-                "args": {k: repr(v) for k, v in rec.attrs.items()},
+                "args": {k: _json_attr(v) for k, v in rec.attrs.items()},
             }
         )
     for rec in tracer.events:
@@ -118,7 +144,7 @@ def _chrome_events_from_tracer(tracer: Tracer) -> tuple[list[dict], dict]:
                 "ts": rec.t * 1e6,
                 "pid": 0,
                 "tid": threads[rec.thread],
-                "args": {k: repr(v) for k, v in rec.attrs.items()},
+                "args": {k: _json_attr(v) for k, v in rec.attrs.items()},
             }
         )
     return events, {"spans": len(tracer.spans), "threads": len(threads)}
@@ -179,7 +205,7 @@ def write_events_jsonl(tracer: Tracer, path: str | Path) -> Path:
                     "thread": rec.thread,
                     "depth": rec.depth,
                     "parent": rec.parent,
-                    "attrs": {k: repr(v) for k, v in rec.attrs.items()},
+                    "attrs": {k: _json_attr(v) for k, v in rec.attrs.items()},
                 }
             )
         )
@@ -192,7 +218,7 @@ def write_events_jsonl(tracer: Tracer, path: str | Path) -> Path:
                     "cat": rec.category,
                     "t": round(rec.t, 6),
                     "thread": rec.thread,
-                    "attrs": {k: repr(v) for k, v in rec.attrs.items()},
+                    "attrs": {k: _json_attr(v) for k, v in rec.attrs.items()},
                 }
             )
         )
@@ -281,4 +307,19 @@ def write_summary_json(observation, path: str | Path) -> Path:
     """Write an observation's :meth:`~repro.obs.Observation.summary`."""
     path = _ensure_suffix(path, ".json")
     path.write_text(json.dumps(observation.summary(), indent=1))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Dependency graph
+# ----------------------------------------------------------------------
+def write_graph_json(graph_doc: dict, path: str | Path) -> Path:
+    """Write the dependency-DAG document captured by ``graph_observed``.
+
+    The document maps executor span names to their kernel class,
+    modelled flops, and predecessor span names — what
+    :func:`repro.obs.analytics.critical_path` joins task spans against.
+    """
+    path = _ensure_suffix(path, ".json")
+    path.write_text(json.dumps(graph_doc, indent=1))
     return path

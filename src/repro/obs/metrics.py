@@ -47,7 +47,9 @@ class _Metric:
 
     def __init__(self, name: str, labels: dict) -> None:
         self.name = name
-        self.labels = dict(labels)
+        # Canonical (sorted) label order: exports and compare diffs must
+        # not depend on which call site registered the metric first.
+        self.labels = dict(sorted(labels.items()))
         self._lock = threading.Lock()
 
 

@@ -1,0 +1,58 @@
+"""Continuous performance harness (``repro.perf``).
+
+The measurement half of the ROADMAP's "every PR makes a hot path
+measurably faster" loop:
+
+* :mod:`repro.perf.harness` — warmup/repeat timing with median + IQR
+  statistics, a standing benchmark suite over the pipeline's hot paths,
+  and schema-versioned JSON-lines persistence (``BENCH_history.jsonl``);
+* :mod:`repro.perf.compare` — the noise-aware regression gate: a delta
+  is a regression only when it exceeds both a relative threshold and the
+  measured inter-quartile range.
+
+CLI surface: ``python -m repro bench`` records a run; ``python -m repro
+compare BASE HEAD`` gates two runs (bench histories or ``--obs`` trace
+directories).  See ``docs/performance.md``.
+"""
+
+from .compare import (
+    DEFAULT_THRESHOLD,
+    BenchDelta,
+    CompareResult,
+    compare_records,
+    render_compare,
+)
+from .harness import (
+    HISTORY_FILE,
+    SCHEMA_VERSION,
+    BenchRecord,
+    Timing,
+    append_history,
+    default_suite,
+    latest_run,
+    load_history,
+    measure,
+    records_for_run,
+    run_suite,
+    runs_in_history,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HISTORY_FILE",
+    "DEFAULT_THRESHOLD",
+    "Timing",
+    "BenchRecord",
+    "measure",
+    "run_suite",
+    "default_suite",
+    "append_history",
+    "load_history",
+    "runs_in_history",
+    "records_for_run",
+    "latest_run",
+    "BenchDelta",
+    "CompareResult",
+    "compare_records",
+    "render_compare",
+]

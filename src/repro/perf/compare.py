@@ -1,0 +1,132 @@
+"""Noise-aware benchmark comparison: the ``python -m repro compare`` gate.
+
+A timing delta is only evidence of a regression when it clears **both**
+conditions:
+
+1. *relative*: ``head_median > base_median * (1 + threshold)`` — small
+   slips below the threshold are never actionable; and
+2. *absolute vs noise*: ``head_median - base_median >
+   max(base_iqr, head_iqr)`` — a delta inside either run's own
+   inter-quartile spread is indistinguishable from scheduler jitter,
+   whatever its relative size.
+
+The dual gate is what lets CI fail *hard* on real regressions without
+flaking on noisy shared runners: a quiet machine has a tiny IQR so the
+relative threshold dominates; a noisy machine inflates the IQR and
+automatically widens its own tolerance.  The same rule is applied
+per-kernel-class by :func:`repro.obs.analytics.trace_diff`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .harness import BenchRecord
+
+__all__ = ["BenchDelta", "CompareResult", "compare_records", "render_compare"]
+
+#: Default relative threshold (25% — generous on purpose; CI runners
+#: differ in absolute speed, the gate is about *drift*, not speed).
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark's base-to-head change."""
+
+    name: str
+    base: BenchRecord | None
+    head: BenchRecord | None
+    regressed: bool = False
+    improved: bool = False
+
+    @property
+    def ratio(self) -> float:
+        if self.base is None or self.head is None:
+            return float("nan")
+        b = self.base.timing.median_s
+        return self.head.timing.median_s / b if b > 0 else float("inf")
+
+
+@dataclass
+class CompareResult:
+    """All deltas of one base/head comparison plus the gate verdict."""
+
+    deltas: list[BenchDelta]
+    threshold: float
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def has_regression(self) -> bool:
+        return bool(self.regressions)
+
+
+def compare_records(
+    base: list[BenchRecord],
+    head: list[BenchRecord],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareResult:
+    """Compare two record sets benchmark-by-benchmark (matched on name).
+
+    Benchmarks present on only one side are reported but never gate —
+    adding or retiring a benchmark is not a performance event.
+    """
+    base_by = {r.name: r for r in base}
+    head_by = {r.name: r for r in head}
+    deltas = []
+    for name in sorted(set(base_by) | set(head_by)):
+        b = base_by.get(name)
+        h = head_by.get(name)
+        d = BenchDelta(name, b, h)
+        if b is not None and h is not None and b.timing.median_s > 0:
+            grow = h.timing.median_s - b.timing.median_s
+            noise = max(b.timing.iqr_s, h.timing.iqr_s)
+            if grow > threshold * b.timing.median_s and grow > noise:
+                d.regressed = True
+            shrink = b.timing.median_s - h.timing.median_s
+            if shrink > threshold * b.timing.median_s and shrink > noise:
+                d.improved = True
+        deltas.append(d)
+    return CompareResult(deltas=deltas, threshold=threshold)
+
+
+def render_compare(result: CompareResult) -> str:
+    """Terminal rendering of a :class:`CompareResult`."""
+    lines = ["repro bench compare", "==================="]
+    lines.append(
+        f"{'benchmark':<18} {'base median':>12} {'head median':>12} "
+        f"{'ratio':>7}  verdict"
+    )
+    for d in result.deltas:
+        b = d.base.timing.median_s if d.base else float("nan")
+        h = d.head.timing.median_s if d.head else float("nan")
+        if d.base is None:
+            verdict = "new"
+        elif d.head is None:
+            verdict = "removed"
+        elif d.regressed:
+            verdict = "REGRESSED"
+        elif d.improved:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{d.name:<18} {b:>10.4f} s {h:>10.4f} s {d.ratio:>6.2f}x  {verdict}"
+        )
+    lines.append("")
+    if result.has_regression:
+        names = ", ".join(d.name for d in result.regressions)
+        lines.append(
+            f"REGRESSION: {names} exceeded the "
+            f"{result.threshold * 100:.0f}% threshold and the measured IQR"
+        )
+    else:
+        lines.append(
+            "no regression: every delta within the "
+            f"{result.threshold * 100:.0f}% threshold or inside the IQR noise"
+        )
+    return "\n".join(lines)

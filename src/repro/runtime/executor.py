@@ -38,7 +38,7 @@ from ..utils.exceptions import RuntimeSystemError
 from .graph import TaskGraph
 from .memory_pool import MemoryPool
 from .resilience import ResilienceReport, as_checkpointer, build_manager
-from .task import TaskKind
+from .task import TaskKind, task_name
 
 __all__ = ["ExecutionReport", "execute_graph"]
 
@@ -188,6 +188,8 @@ def execute_graph(
     panels_since_save = 0
 
     observing = obs.enabled()
+    if observing:
+        obs.graph_observed(graph, task_name)
     try:
         for tid in graph.topological_order():
             task = graph.tasks[tid]
@@ -201,7 +203,10 @@ def execute_graph(
             kind = task.kind
             if observing:
                 span = obs.span(
-                    "_".join([kind.name, *(str(x) for x in tid[1:])]), "task"
+                    task_name(tid),
+                    "task",
+                    kernel=task.kernel.value,
+                    flops=task.flops,
                 )
             else:
                 span = obs.NULL_SPAN

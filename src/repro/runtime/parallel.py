@@ -60,7 +60,7 @@ from .executor import _canonical_tid, _commit_task, _compute_task
 from .graph import TaskGraph
 from .memory_pool import MemoryPool
 from .resilience import ResilienceReport, as_checkpointer, build_manager
-from .task import task_sort_key
+from .task import task_name, task_sort_key
 
 __all__ = [
     "ParallelExecutionReport",
@@ -391,10 +391,9 @@ def execute_graph_parallel(
     busy = np.zeros(n_workers)
     traces: list[list[tuple]] = [[] for _ in range(n_workers)]
     observing = obs.enabled()
+    if observing:
+        obs.graph_observed(graph, task_name)
     t0 = time.perf_counter()
-
-    def task_name(tid: tuple) -> str:
-        return "_".join([tid[0].name, *(str(x) for x in tid[1:])])
 
     def worker(wid: int) -> None:
         while True:
@@ -430,7 +429,14 @@ def execute_graph_parallel(
             start = time.perf_counter() - t0
             try:
                 if observing:
-                    with obs.span(task_name(tid), "task", worker=wid):
+                    _task = graph.tasks[tid]
+                    with obs.span(
+                        task_name(tid),
+                        "task",
+                        worker=wid,
+                        kernel=_task.kernel.value,
+                        flops=_task.flops,
+                    ):
                         run_task(tid)
                 else:
                     run_task(tid)

@@ -24,7 +24,25 @@ from enum import Enum
 
 from ..linalg.flops import KernelClass
 
-__all__ = ["TaskKind", "TaskId", "Task", "Edge", "EdgeKind", "task_sort_key"]
+__all__ = [
+    "TaskKind",
+    "TaskId",
+    "Task",
+    "Edge",
+    "EdgeKind",
+    "task_sort_key",
+    "task_name",
+]
+
+
+def task_name(tid: "TaskId") -> str:
+    """Canonical human-readable task id, e.g. ``GEMM_3_1_0``.
+
+    The single naming scheme shared by the executors' trace spans, the
+    ``graph.json`` dependency export, and the analytics layer's
+    span-to-DAG join — change it in one place or the join breaks.
+    """
+    return "_".join([tid[0].name, *(str(x) for x in tid[1:])])
 
 
 class TaskKind(Enum):

@@ -1,0 +1,204 @@
+"""Tests for the benchmark harness and regression gate (:mod:`repro.perf`).
+
+Covers: measure() warmup/repeat/setup discipline, Timing statistics,
+schema-versioned history persistence, the dual-condition (threshold AND
+IQR) regression gate, and the ``bench``/``compare`` CLI including exit
+codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.__main__ import main
+from repro.perf.harness import Timing, _median, _quantile
+
+
+def _rec(name, times, run="r", config=None):
+    return perf.BenchRecord(
+        name=name, run=run, timing=Timing(times_s=tuple(times)),
+        config=config or {}, ts="2026-01-01T00:00:00Z",
+    )
+
+
+class TestTiming:
+    def test_median_odd_even(self):
+        assert _median([3.0, 1.0, 2.0]) == 2.0
+        assert _median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_quartiles_and_iqr(self):
+        t = Timing(times_s=(1.0, 2.0, 3.0, 4.0, 5.0))
+        assert t.median_s == 3.0
+        assert t.q1_s == 2.0
+        assert t.q3_s == 4.0
+        assert t.iqr_s == 2.0
+        assert t.min_s == 1.0
+
+    def test_single_sample(self):
+        t = Timing(times_s=(0.5,))
+        assert t.median_s == 0.5
+        assert t.iqr_s == 0.0
+        assert _quantile([0.5], 0.25) == 0.5
+
+
+class TestMeasure:
+    def test_warmup_and_repeats_counted(self):
+        calls = []
+        timing = perf.measure(lambda: calls.append(1), warmup=2, repeats=3)
+        assert len(calls) == 5
+        assert len(timing.times_s) == 3
+
+    def test_setup_runs_untimed_each_invocation(self):
+        setups, runs = [], []
+        perf.measure(
+            lambda arg: runs.append(arg),
+            warmup=1,
+            repeats=2,
+            setup=lambda: setups.append(len(setups)) or len(setups) - 1,
+        )
+        assert setups == [0, 1, 2]  # one per warmup + per repeat
+        assert runs == [0, 1, 2]
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError, match="repeats"):
+            perf.measure(lambda: None, repeats=0)
+
+
+class TestHistory:
+    def test_append_load_round_trip(self, tmp_path):
+        recs = [_rec("a", [0.1, 0.2, 0.3]), _rec("b", [1.0])]
+        path = perf.append_history(recs, tmp_path / "h.jsonl")
+        loaded = perf.load_history(path)
+        assert [r.name for r in loaded] == ["a", "b"]
+        assert loaded[0].timing.median_s == pytest.approx(0.2)
+        assert loaded[0].timing.times_s == pytest.approx((0.1, 0.2, 0.3))
+
+    def test_append_is_append(self, tmp_path):
+        path = perf.append_history([_rec("a", [0.1], run="r1")], tmp_path)
+        perf.append_history([_rec("a", [0.1], run="r2")], path)
+        loaded = perf.load_history(path)
+        assert perf.runs_in_history(loaded) == ["r1", "r2"]
+        assert [r.name for r in perf.latest_run(loaded)] == ["a"]
+        assert perf.latest_run(loaded)[0].run == "r2"
+
+    def test_directory_resolves_to_history_file(self, tmp_path):
+        path = perf.append_history([_rec("a", [0.1])], tmp_path)
+        assert path.name == perf.HISTORY_FILE
+        assert perf.load_history(tmp_path)[0].name == "a"
+
+    def test_schema_versioned(self, tmp_path):
+        path = perf.append_history([_rec("a", [0.1])], tmp_path)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == perf.SCHEMA_VERSION
+        # A future-schema row is skipped, not crashed on.
+        with path.open("a") as fh:
+            fh.write(json.dumps({"schema": perf.SCHEMA_VERSION + 1,
+                                 "name": "x", "median_s": 1}) + "\n")
+        assert [r.name for r in perf.load_history(path)] == ["a"]
+
+    def test_empty_latest_run(self):
+        assert perf.latest_run([]) == []
+
+
+class TestCompare:
+    def test_regression_gated_by_both_conditions(self):
+        base = [_rec("f", [1.0, 1.0, 1.0])]
+        head = [_rec("f", [1.5, 1.5, 1.5])]  # +50%, zero IQR
+        res = perf.compare_records(base, head, threshold=0.25)
+        assert res.has_regression
+        assert res.regressions[0].name == "f"
+        assert res.regressions[0].ratio == pytest.approx(1.5)
+
+    def test_below_threshold_never_gates(self):
+        base = [_rec("f", [1.0, 1.0, 1.0])]
+        head = [_rec("f", [1.1, 1.1, 1.1])]  # +10% < 25%
+        assert not perf.compare_records(base, head).has_regression
+
+    def test_delta_inside_iqr_never_gates(self):
+        # +50% relative, but the base IQR spans the whole delta: noise.
+        base = [_rec("f", [0.5, 1.0, 2.0])]
+        head = [_rec("f", [1.5, 1.5, 1.5])]
+        res = perf.compare_records(base, head, threshold=0.25)
+        assert not res.has_regression
+
+    def test_improvement_reported_not_gated(self):
+        base = [_rec("f", [2.0, 2.0, 2.0])]
+        head = [_rec("f", [1.0, 1.0, 1.0])]
+        res = perf.compare_records(base, head)
+        assert not res.has_regression
+        assert res.deltas[0].improved
+
+    def test_added_removed_never_gate(self):
+        res = perf.compare_records([_rec("old", [1.0])], [_rec("new", [9.0])])
+        assert not res.has_regression
+        verdicts = {d.name: (d.base is None, d.head is None)
+                    for d in res.deltas}
+        assert verdicts == {"old": (False, True), "new": (True, False)}
+
+    def test_render(self):
+        res = perf.compare_records(
+            [_rec("f", [1.0, 1.0, 1.0])], [_rec("f", [2.0, 2.0, 2.0])]
+        )
+        text = perf.render_compare(res)
+        assert "REGRESSED" in text and "REGRESSION" in text
+
+
+@pytest.mark.slow
+class TestSuite:
+    def test_run_suite_smoke_filtered(self):
+        recs = perf.run_suite(
+            smoke=True, warmup=0, repeats=1, label="t", name_filter="solve"
+        )
+        assert [r.name for r in recs] == ["solve"]
+        assert recs[0].config["smoke"] is True
+        assert recs[0].timing.median_s > 0
+
+    def test_default_suite_names(self):
+        names = [b["name"] for b in perf.default_suite(smoke=True)]
+        assert names == [
+            "compress_svd", "compress_rsvd", "factorize_seq",
+            "factorize_par2", "solve",
+        ]
+
+
+@pytest.mark.slow
+class TestCLI:
+    def test_bench_then_compare_self(self, tmp_path, capsys):
+        out = tmp_path / "hist.jsonl"
+        rc = main(["bench", "--smoke", "--repeats", "2", "--warmup", "0",
+                   "--filter", "solve", "--label", "base",
+                   "--out", str(out)])
+        assert rc == 0
+        rc = main(["bench", "--smoke", "--repeats", "2", "--warmup", "0",
+                   "--filter", "solve", "--label", "head",
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "records appended" in text
+        # Same machine, same bench: the gate must not fire.
+        rc = main(["compare", str(out), str(out)])
+        out_text = capsys.readouterr().out
+        assert rc == 0
+        assert "no regression" in out_text
+
+    def test_bench_filter_no_match(self, tmp_path, capsys):
+        rc = main(["bench", "--smoke", "--filter", "nonexistent",
+                   "--out", str(tmp_path / "h.jsonl")])
+        assert rc == 1
+
+    def test_compare_synthesized_regression(self, tmp_path, capsys):
+        base = perf.append_history(
+            [_rec("f", [1.0, 1.0, 1.0], run="b")], tmp_path / "base.jsonl"
+        )
+        head = perf.append_history(
+            [_rec("f", [3.0, 3.0, 3.0], run="h")], tmp_path / "head.jsonl"
+        )
+        rc = main(["compare", str(base), str(head)])
+        text = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSION" in text
+        rc = main(["compare", str(base), str(head), "--threshold", "5.0"])
+        assert rc == 0
