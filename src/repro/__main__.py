@@ -6,8 +6,10 @@ Nine focused commands mirroring the library's main entry points:
 * ``demo``      — compress → auto-tune → factorize → solve, with a report;
 * ``tune``      — run Algorithm 1 on a problem and print its cost table;
 * ``simulate``  — replay a Cholesky DAG on the machine simulator;
-* ``execute``   — run the DAG for real on the parallel thread-pool
-  executor, with occupancy/Gantt/Chrome-trace artifacts;
+* ``execute``   — run the DAG for real on a selectable backend
+  (``--executor threads`` thread pool, ``--executor processes``
+  multi-process ranks, ``--executor sim`` DES prediction), with
+  occupancy/Gantt/Chrome-trace artifacts;
 * ``report``    — render the telemetry of a ``--obs`` run as a text report;
 * ``analyze``   — trace analytics on a ``--obs`` run: realized critical
   path, per-worker occupancy, per-kernel achieved GFLOP/s;
@@ -238,7 +240,7 @@ def _run_execute(args: argparse.Namespace) -> int:
     from repro.analysis.tracing import export_chrome_trace
     from repro.core import tlr_cholesky
     from repro.matrix import BandTLRMatrix
-    from repro.runtime import build_cholesky_graph, execute_graph_parallel
+    from repro.runtime import build_cholesky_graph, get_executor
 
     problem = st_3d_exp_problem(args.n, args.tile, seed=args.seed)
     rule = TruncationRule(eps=args.accuracy)
@@ -258,6 +260,9 @@ def _run_execute(args: argparse.Namespace) -> int:
         matrix.ntiles, args.band, args.tile, rank_fn
     )
 
+    if args.executor == "sim":
+        return _execute_sim(args, graph)
+
     t_seq = None
     if args.compare_sequential:
         seq = matrix.copy()
@@ -266,15 +271,19 @@ def _run_execute(args: argparse.Namespace) -> int:
         t_seq = time.perf_counter() - t0
 
     want_trace = args.gantt or args.trace is not None
-    res = execute_graph_parallel(
+    if args.executor == "processes":
+        ex = get_executor("processes", n_ranks=args.ranks)
+    else:
+        ex = get_executor(
+            "threads", n_workers=args.workers, scheduler=args.scheduler
+        )
+    res = ex.execute(
         graph, matrix,
-        n_workers=args.workers,
-        scheduler=args.scheduler,
         collect_trace=want_trace,
         faults=_fault_plan(args),
         checkpoint=args.checkpoint,
         resume=args.resume,
-    )
+    ).report
     s = occupancy_summary(res)
     rows = [
         ("tasks", res.tasks_executed),
@@ -286,6 +295,19 @@ def _run_execute(args: argparse.Namespace) -> int:
         ("max rank seen", res.max_rank_seen),
         ("pool hit rate", round(res.pool.stats.hit_rate, 3)),
     ]
+    if args.executor == "processes":
+        c = res.comm
+        rows += [
+            ("LOCAL edges", c.local_edges),
+            ("REMOTE edges", c.remote_edges),
+            ("messages (modelled)", c.messages),
+            ("MiB sent (modelled)", round(c.bytes_sent / 2**20, 3)),
+            ("broadcasts", c.broadcasts),
+            ("wire messages", res.wire_messages),
+            ("MiB on wire", round(res.wire_bytes / 2**20, 3)),
+        ]
+        if res.rank_restarts:
+            rows.append(("rank restarts", res.rank_restarts))
     if res.resilience is not None:
         rows.append(("task retries", res.resilience.retries))
         rows.append(("tasks recovered", res.resilience.recoveries))
@@ -299,7 +321,8 @@ def _run_execute(args: argparse.Namespace) -> int:
         rows.append(("speedup", round(t_seq / max(res.makespan, 1e-12), 2)))
     print(format_table(
         ["metric", "value"], rows,
-        title=f"real execution: n={args.n}, b={args.tile}, band={args.band}",
+        title=f"real execution [{args.executor}]: "
+              f"n={args.n}, b={args.tile}, band={args.band}",
     ))
     if args.verify:
         l = matrix.to_dense(lower_only=True)
@@ -312,6 +335,80 @@ def _run_execute(args: argparse.Namespace) -> int:
     if args.trace is not None:
         out = export_chrome_trace(res, args.trace)
         print(f"Chrome trace written to {out}")
+    return 0
+
+
+def _execute_sim(args: argparse.Namespace, graph) -> int:
+    """``execute --executor sim``: predict the run instead of doing it.
+
+    Simulates the same DAG on one single-core node per rank and replays
+    the predicted schedule into the active observation, so the ``--obs``
+    directory holds the same artifact shapes as a real run — feed both to
+    ``python -m repro compare`` for the predicted-vs-realized trace diff.
+    With ``--calibrate-from REALDIR`` the simulator's kernel costs are
+    the median measured durations of the real run's trace, isolating
+    scheduling/communication model error from kernel-rate error.
+    """
+    from repro import obs
+    from repro.analysis import format_table, gantt
+    from repro.runtime import MachineSpec, SimExecutor, rates_from_run
+    from repro.runtime.task import task_name
+
+    if args.verify:
+        print("error: --verify needs a factorized matrix; the sim "
+              "executor only predicts the run", file=sys.stderr)
+        return 2
+
+    machine = None
+    if args.calibrate_from is not None:
+        from repro.obs.analytics import load_run
+
+        machine = MachineSpec(
+            nodes=args.ranks, cores_per_node=1,
+            rates=rates_from_run(load_run(args.calibrate_from)),
+        )
+    ex = SimExecutor(n_ranks=args.ranks, machine=machine,
+                     scheduler=args.scheduler)
+    res = ex.execute(graph, None, collect_trace=True).report
+
+    # Replay the predicted schedule as spans so --obs yields a trace the
+    # analytics layer (and `repro compare`) reads like a realized one.
+    if obs.enabled():
+        obs.graph_observed(graph, task_name)
+        t0 = obs.clock()
+        for tid, proc, start, end in res.trace:
+            task = graph.tasks[tid]
+            obs.record_span(
+                task_name(tid), "task",
+                start=t0 + start, end=t0 + end,
+                thread=f"rank-{proc}", worker=proc,
+                kernel=task.kernel.value, flops=task.flops,
+            )
+        obs.gauge_set("makespan_s", res.makespan, executor="sim")
+        obs.gauge_set("remote_messages", res.comm.messages)
+        obs.gauge_set("remote_bytes", res.comm.bytes_sent)
+
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("tasks", graph.n_tasks),
+            ("ranks", args.ranks),
+            ("predicted makespan (s)", round(res.makespan, 3)),
+            ("mean occupancy", round(float(res.occupancy.mean()), 3)),
+            ("LOCAL edges", res.comm.local_edges),
+            ("REMOTE edges", res.comm.remote_edges),
+            ("messages", res.comm.messages),
+            ("MiB sent", round(res.comm.bytes_sent / 2**20, 3)),
+            ("broadcasts", res.comm.broadcasts),
+            ("kernel rates", "measured" if machine is not None
+             else "Shaheen-II-like"),
+        ],
+        title=f"predicted execution [sim]: n={args.n}, b={args.tile}, "
+              f"band={args.band}, ranks={args.ranks}",
+    ))
+    if args.gantt:
+        print()
+        print(gantt(res, width=args.width))
     return 0
 
 
@@ -466,7 +563,23 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--accuracy", type=float, default=1e-8)
     e.add_argument("--seed", type=int, default=0)
     e.add_argument("--workers", type=int, default=None,
-                   help="worker threads (default: cpu count)")
+                   help="worker threads (default: cpu count); with "
+                        "--executor processes this only parallelizes "
+                        "matrix assembly")
+    e.add_argument("--executor", choices=["threads", "processes", "sim"],
+                   default="threads",
+                   help="backend: shared-memory worker threads, true "
+                        "multi-process ranks with explicit tile "
+                        "communication, or the discrete-event simulator "
+                        "(predicts without factorizing)")
+    e.add_argument("--ranks", type=int, default=2,
+                   help="rank count for --executor processes/sim "
+                        "(tiles placed by the hybrid band distribution)")
+    e.add_argument("--calibrate-from", type=str, default=None,
+                   metavar="DIR",
+                   help="with --executor sim: drive the simulator with "
+                        "per-kernel median durations measured from the "
+                        "--obs directory of a real run")
     e.add_argument("--compression", choices=["svd", "rsvd"], default="svd",
                    help="compression backend: exact SVD or adaptive "
                         "randomized SVD")

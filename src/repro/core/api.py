@@ -147,6 +147,8 @@ class TLRSolver:
         self,
         *,
         n_workers: int | None = None,
+        executor=None,
+        n_ranks: int | None = None,
         faults=None,
         recovery=None,
         checkpoint=None,
@@ -157,6 +159,11 @@ class TLRSolver:
         With ``n_workers`` the factorization executes on the
         dependency-driven thread-pool executor (same factor, bitwise,
         for any worker count); without it, the sequential loops run.
+        ``executor``/``n_ranks`` select a backend explicitly instead —
+        e.g. ``executor="processes", n_ranks=4`` runs the distributed
+        multi-process executor with tiles placed by the hybrid band
+        distribution (again the same factor, bitwise, at any rank
+        count); see :func:`~repro.core.factorize.tlr_cholesky`.
 
         ``faults``/``recovery``/``checkpoint``/``resume`` pass through to
         :func:`~repro.core.factorize.tlr_cholesky`'s resilience engine:
@@ -168,6 +175,8 @@ class TLRSolver:
         self.report = tlr_cholesky(
             self.matrix,
             n_workers=n_workers,
+            executor=executor,
+            n_ranks=n_ranks,
             faults=faults,
             recovery=recovery,
             checkpoint=checkpoint,

@@ -35,6 +35,7 @@ from ..utils.exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..runtime.resilience import ResilienceReport
+    from ..runtime.simulator import CommStats
 
 __all__ = ["FactorizationReport", "tlr_cholesky"]
 
@@ -58,6 +59,12 @@ class FactorizationReport:
     resilience:
         Recovery-engine counters (``None`` unless faults, a recovery
         policy, or checkpointing was requested).
+    executor:
+        Which backend ran the factorization (``"sequential"``,
+        ``"threads"``, or ``"processes"``).
+    comm:
+        Realized communication statistics (``None`` except on the
+        process executor, whose ranks exchange tiles explicitly).
     """
 
     counter: FlopCounter = field(default_factory=FlopCounter)
@@ -66,6 +73,8 @@ class FactorizationReport:
     tiles_densified_online: int = 0
     tasks_resumed: int = 0
     resilience: "ResilienceReport | None" = None
+    executor: str = "sequential"
+    comm: "CommStats | None" = None
 
 
 def tlr_cholesky(
@@ -74,6 +83,8 @@ def tlr_cholesky(
     rule: TruncationRule | None = None,
     adaptive_threshold: float | None = None,
     n_workers: int | None = None,
+    executor=None,
+    n_ranks: int | None = None,
     backend=None,
     faults=None,
     recovery=None,
@@ -105,6 +116,17 @@ def tlr_cholesky(
         identical for any worker count.  Incompatible with
         ``adaptive_threshold`` (online densification rewrites the graph
         mid-flight).
+    executor:
+        A :class:`~repro.runtime.protocol.Executor` instance or registry
+        name (``"sequential"``, ``"threads"``, ``"processes"``) selecting
+        the backend explicitly — the multi-process executor is only
+        reachable this way.  Mutually exclusive with ``n_workers`` (which
+        is shorthand for the thread executor); the ``"sim"`` executor is
+        rejected because it predicts a run without factorizing.
+    n_ranks:
+        Rank count for a *named* ``executor`` (worker processes for
+        ``"processes"``, worker threads for ``"threads"``); pass a
+        configured instance instead for finer control.
     faults:
         Fault-injection source (spec string, ``FaultPlan``, or injector —
         see :mod:`repro.testing.faults`); implies the recovery engine of
@@ -142,6 +164,18 @@ def tlr_cholesky(
             "adaptive_threshold requires the sequential path; "
             "it cannot be combined with n_workers"
         )
+    if executor is not None and n_workers is not None:
+        raise ConfigurationError(
+            "n_workers is shorthand for executor='threads'; "
+            "pass one or the other, not both"
+        )
+    if executor is not None and adaptive_threshold is not None:
+        raise ConfigurationError(
+            "adaptive_threshold requires the sequential path; "
+            "it cannot be combined with an executor"
+        )
+    if n_ranks is not None and executor is None:
+        raise ConfigurationError("n_ranks requires an executor name")
     resilient = (
         faults is not None
         or recovery is not None
@@ -162,10 +196,11 @@ def tlr_cholesky(
         band_size=matrix.band_size,
         workers=n_workers,
     ):
-        if n_workers is not None or resilient:
+        if executor is not None or n_workers is not None or resilient:
             report = _tlr_cholesky_graph(
                 matrix, rule, n_workers, backend,
                 faults, recovery, checkpoint, resume,
+                executor=executor, n_ranks=n_ranks,
             )
         else:
             report = _tlr_cholesky_sequential(
@@ -253,19 +288,45 @@ def _tlr_cholesky_graph(
     recovery=None,
     checkpoint=None,
     resume: bool = False,
+    *,
+    executor=None,
+    n_ranks: int | None = None,
 ) -> FactorizationReport:
     """Run the factorization through a graph executor.
 
     Builds the Cholesky DAG from the matrix's measured rank grid (the
-    same graph the simulator replays) and executes it on ``n_workers``
-    threads — or on the sequential graph executor when ``n_workers`` is
-    ``None`` but resilience features are requested; the report surface
-    matches the sequential path's.
+    same graph the simulator replays) and executes it on the selected
+    :class:`~repro.runtime.protocol.Executor` backend — ``n_workers``
+    threads, ``executor=``'s choice, or the sequential graph executor
+    when neither is given but resilience features are requested; the
+    report surface matches the sequential path's.
     """
     # Local import: repro.runtime must stay importable without repro.core.
-    from ..runtime.executor import execute_graph
     from ..runtime.graph import build_cholesky_graph
-    from ..runtime.parallel import execute_graph_parallel
+    from ..runtime.protocol import ThreadExecutor, get_executor
+
+    if executor is None:
+        if n_workers is not None:
+            ex = ThreadExecutor(n_workers=n_workers)
+        else:
+            ex = get_executor("sequential")
+    else:
+        kwargs = {}
+        if n_ranks is not None:
+            # Rank count maps onto whichever worker knob the named
+            # backend exposes.
+            kwargs = (
+                {"n_workers": n_ranks}
+                if executor == "threads"
+                else {"n_ranks": n_ranks}
+            )
+        ex = get_executor(executor, **kwargs)
+    if ex.name == "sim":
+        raise ConfigurationError(
+            "the sim executor predicts a run without factorizing; use "
+            "repro.runtime.protocol.SimExecutor (or `repro execute "
+            "--executor sim`) directly for predictions"
+        )
 
     grid = matrix.rank_grid()
 
@@ -275,22 +336,17 @@ def _tlr_cholesky_graph(
     graph = build_cholesky_graph(
         matrix.ntiles, matrix.band_size, matrix.desc.tile_size, rank_fn
     )
-    resilience_kwargs = dict(
-        faults=faults, recovery=recovery, checkpoint=checkpoint, resume=resume
+    run = ex.execute(
+        graph, matrix, rule=rule, backend=backend,
+        faults=faults, recovery=recovery, checkpoint=checkpoint,
+        resume=resume,
     )
-    if n_workers is not None:
-        run = execute_graph_parallel(
-            graph, matrix, rule=rule, n_workers=n_workers, backend=backend,
-            **resilience_kwargs,
-        )
-    else:
-        run = execute_graph(
-            graph, matrix, rule=rule, backend=backend, **resilience_kwargs
-        )
     return FactorizationReport(
         counter=run.counter,
         rank_growth_events=run.rank_growth_events,
         max_rank_seen=run.max_rank_seen,
         tasks_resumed=run.tasks_resumed,
         resilience=run.resilience,
+        executor=run.executor,
+        comm=getattr(run.report, "comm", None),
     )

@@ -68,6 +68,8 @@ __all__ = [
     "enabled",
     "span",
     "event",
+    "clock",
+    "record_span",
     "counter_add",
     "gauge_set",
     "histogram_observe",
@@ -229,6 +231,41 @@ def event(name: str, category: str = "", **attrs) -> None:
     ob = active()
     if ob is not None:
         ob.tracer.event(name, category, **attrs)
+
+
+def clock() -> float:
+    """The active observation's tracer time (seconds since its t0).
+
+    Lets code that measures intervals on another clock — worker
+    processes timing tasks with ``time.time()`` — map those intervals
+    onto the tracer timeline for :func:`record_span`.  Returns 0.0 when
+    no observation is active (the replayed offsets are then unused).
+    """
+    ob = active()
+    return ob.tracer.now() if ob is not None else 0.0
+
+
+def record_span(
+    name: str,
+    category: str = "",
+    *,
+    start: float,
+    end: float,
+    thread: str | None = None,
+    **attrs,
+) -> None:
+    """Replay an externally timed span into the active observation.
+
+    ``start``/``end`` are on the active tracer's clock — anchor foreign
+    timestamps with :func:`clock` at a shared wall-clock instant.  Used
+    by the distributed executor to merge per-rank task timings gathered
+    from worker processes into the controller's trace.
+    """
+    ob = active()
+    if ob is not None:
+        ob.tracer.record(
+            name, category, start, end, thread=thread, **attrs
+        )
 
 
 def counter_add(name: str, amount: float = 1.0, **labels) -> None:

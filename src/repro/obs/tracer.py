@@ -144,6 +144,39 @@ class Tracer:
         """A context manager timing the enclosed block as one span."""
         return _Span(self, name, category, attrs)
 
+    def record(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        *,
+        thread: str | None = None,
+        **attrs,
+    ) -> None:
+        """Append an already-timed span (replay path).
+
+        Used to merge externally measured intervals — e.g. per-rank task
+        timings gathered from worker processes — into this tracer's
+        timeline.  ``start``/``end`` are seconds on this tracer's clock
+        (relative to ``t0``); the caller is responsible for mapping its
+        own clock via :meth:`now`.
+        """
+        th = threading.current_thread()
+        rec = SpanRecord(
+            name=name,
+            category=category,
+            start=start,
+            end=end,
+            thread=thread if thread is not None else th.name,
+            thread_id=0 if thread is not None else (th.ident or 0),
+            depth=0,
+            parent=None,
+            attrs=attrs,
+        )
+        with self._lock:
+            self.spans.append(rec)
+
     def event(self, name: str, category: str = "", **attrs) -> None:
         """Record an instant event at the current time."""
         th = threading.current_thread()

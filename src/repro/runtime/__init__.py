@@ -1,7 +1,19 @@
 """The task runtime (PaRSEC substitute): graphs, executor, simulator."""
 
-from .calibration import calibrate_machine, measure_dense_gflops, measure_lr_efficiency
+from .calibration import (
+    MeasuredRates,
+    calibrate_machine,
+    measure_dense_gflops,
+    measure_lr_efficiency,
+    rates_from_run,
+)
 from .dataflow import DataflowBreakdown, classify_dataflow, to_dot
+from .distributed import (
+    DistributedExecutionReport,
+    binomial_children,
+    execute_graph_distributed,
+    placement_of,
+)
 from .dtd import Access, TaskInserter, dtd_cholesky_graph
 from .executor import ExecutionReport, execute_graph
 from .graph import TaskGraph, build_cholesky_graph, classify_gemm
@@ -14,6 +26,16 @@ from .parallel import (
     ThreadSafeMemoryPool,
     ThreadSafeMemoryTracker,
     execute_graph_parallel,
+)
+from .protocol import (
+    EXECUTOR_NAMES,
+    Executor,
+    ExecutorRun,
+    ProcessExecutor,
+    SequentialExecutor,
+    SimExecutor,
+    ThreadExecutor,
+    get_executor,
 )
 from .resilience import (
     CheckpointConfig,
@@ -35,6 +57,20 @@ __all__ = [
     "calibrate_machine",
     "measure_dense_gflops",
     "measure_lr_efficiency",
+    "MeasuredRates",
+    "rates_from_run",
+    "DistributedExecutionReport",
+    "binomial_children",
+    "execute_graph_distributed",
+    "placement_of",
+    "Executor",
+    "ExecutorRun",
+    "EXECUTOR_NAMES",
+    "SequentialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "SimExecutor",
+    "get_executor",
     "TaskInserter",
     "dtd_cholesky_graph",
     "TaskGraph",

@@ -11,6 +11,7 @@ distributed runs.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,7 +21,13 @@ from ..linalg.tiles import DenseTile, LowRankTile
 from ..utils.validation import check_positive_int
 from .machine import KernelRateModel, MachineSpec
 
-__all__ = ["measure_dense_gflops", "measure_lr_efficiency", "calibrate_machine"]
+__all__ = [
+    "measure_dense_gflops",
+    "measure_lr_efficiency",
+    "calibrate_machine",
+    "MeasuredRates",
+    "rates_from_run",
+]
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -86,3 +93,50 @@ def calibrate_machine(
     return MachineSpec(
         nodes=nodes, cores_per_node=cores_per_node, rates=rates, **machine_kwargs
     )
+
+
+@dataclass
+class MeasuredRates:
+    """Kernel durations replayed from a recorded run's task spans.
+
+    Where :class:`~repro.runtime.machine.KernelRateModel` is an analytic
+    throughput curve, this rates object answers ``seconds(...)`` with the
+    *median measured duration* of that kernel class in a real trace — the
+    DES then replays the measured per-task costs over the modelled
+    network, which is exactly the "predicted vs realized" reconciliation
+    a trace diff wants: per-kernel medians agree by construction, and any
+    residual disagreement isolates scheduling/communication modelling
+    error rather than kernel-rate error.
+    """
+
+    durations: dict[str, float] = field(default_factory=dict)
+    fallback_gflops: float = 10.0
+
+    def seconds(self, kernel, flops: float, b: int, k: int) -> float:
+        """Median measured duration of ``kernel``; flops-based fallback."""
+        d = self.durations.get(getattr(kernel, "value", str(kernel)))
+        if d is not None:
+            return d
+        if flops <= 0.0:
+            return 0.0
+        return flops / (self.fallback_gflops * 1e9)
+
+
+def rates_from_run(run) -> MeasuredRates:
+    """Build :class:`MeasuredRates` from a loaded run trace.
+
+    ``run`` is an :class:`~repro.obs.analytics.RunTrace` (from
+    :func:`repro.obs.load_run` or :func:`repro.obs.run_from_observation`)
+    whose task spans carry ``kernel`` annotations — any graph-executor
+    run recorded under :func:`repro.obs.observe` qualifies.
+    """
+    from ..obs.analytics import flop_attribution
+
+    rates = flop_attribution(run)
+    durations = {
+        kernel: r.median_s for kernel, r in rates.items() if r.durations
+    }
+    total_flops = sum(r.flops for r in rates.values())
+    total_secs = sum(r.seconds for r in rates.values())
+    fallback = total_flops / total_secs / 1e9 if total_secs > 0 else 10.0
+    return MeasuredRates(durations=durations, fallback_gflops=fallback)

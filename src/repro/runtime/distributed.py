@@ -1,0 +1,932 @@
+"""Multi-process distributed executor: real numerics on SPMD ranks.
+
+The thread executor (:mod:`repro.runtime.parallel`) shares one address
+space; the simulator (:mod:`repro.runtime.simulator`) only *predicts*
+what a distributed run would do.  This module closes the loop: it runs
+the same :class:`~repro.runtime.graph.TaskGraph` on ``N`` OS processes,
+places tiles with a real :class:`~repro.distribution.Distribution`
+(the paper's hybrid band/off-band layout by default), classifies every
+dataflow edge LOCAL vs REMOTE exactly like
+:func:`repro.runtime.dataflow.classify_dataflow`, and moves remote tiles
+over explicit send/recv channels with binomial broadcast trees for the
+panel factors (POTRF and TRSM outputs) — the Section VII-A communication
+pattern, executed instead of simulated.
+
+Execution model (owner computes, SPMD):
+
+* every rank walks the *same* deterministic topological order and
+  executes only the tasks whose output tile it owns;
+* a task's input tiles are LOCAL (produced by an earlier task on the
+  same rank — the PTG chain edges) or REMOTE, in which case the rank
+  blocks on its inbox until the tile arrives;
+* a rank that commits a task whose output has remote consumers sends
+  the tile once per consumer rank, routed down a binomial tree whose
+  interior nodes are consumer ranks (each forwards to its subtree).
+
+Correctness rests on a property of the Cholesky PTG under
+owner-computes placement: every remote edge originates from a POTRF or
+TRSM task, and those outputs are the *final* writes to their tile
+coordinates.  Remote tiles are therefore immutable snapshots — each
+consumer rank receives exactly one version per coordinate, reads it
+read-only, and never owns a write to it.  Combined with the total
+ordering of writes per tile (the LOCAL chains) and deterministic
+kernels, the factor is bitwise identical to the sequential and thread
+executors for any rank count.
+
+Resilience carries over wholesale: each rank runs its tasks under its
+own :class:`~repro.runtime.resilience.RecoveryManager` (fault draws
+depend only on (seed, task, attempt), so chaos runs stay deterministic
+across rank counts); checkpoints are coordinated by the controller,
+which merges per-rank frontier shards into standard
+:class:`~repro.runtime.resilience.Checkpointer` archives that the other
+executors can resume, and vice versa.  If a rank process dies mid-run,
+the controller relaunches the run from the latest checkpoint (or from
+scratch — its own tile state is untouched until the final gather) and
+counts a recovery.
+
+The report quacks like a :class:`~repro.runtime.parallel
+.ParallelExecutionReport` (``makespan``/``busy``/``trace``/
+``occupancy``), so gantt, occupancy summaries and Chrome-trace export
+consume distributed runs unchanged, and adds the realized communication
+volume: :class:`~repro.runtime.simulator.CommStats` under the
+simulator's counting conventions (directly comparable with
+``simulate().comm``) plus a realized
+:class:`~repro.runtime.dataflow.DataflowBreakdown` that must equal
+``classify_dataflow(graph, dist)`` on a fresh run — a tested
+reconciliation, not an assumption.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..distribution.distributions import BandDistribution, Distribution
+from ..distribution.process_grid import ProcessGrid
+from ..linalg.compression import TruncationRule
+from ..linalg.flops import FlopCounter
+from ..linalg.tiles import LowRankTile
+from ..matrix.memory import MemoryTracker
+from ..matrix.tlr_matrix import BandTLRMatrix
+from ..utils.exceptions import ConfigurationError, RuntimeSystemError
+from ..utils.validation import check_positive_int
+from .dataflow import DataflowBreakdown
+from .executor import ExecutionReport, _canonical_tid, _commit_task, _compute_task
+from .graph import TaskGraph
+from .memory_pool import MemoryPool
+from .resilience import ResilienceReport, as_checkpointer, build_manager
+from .simulator import CommStats
+from .task import TaskId, task_name
+
+__all__ = [
+    "DistributedExecutionReport",
+    "binomial_children",
+    "execute_graph_distributed",
+    "placement_of",
+]
+
+
+def binomial_children(dests: list[int]) -> list[tuple[int, list[int]]]:
+    """Split broadcast destinations into binomial ``(child, subtree)`` pairs.
+
+    The sender transmits once per returned pair; each child forwards to
+    its subtree recursively, so an ``n``-destination broadcast costs the
+    root ``O(log n)`` sends and completes in ``O(log n)`` hops — the
+    binomial trees PaRSEC uses for panel broadcasts.
+    """
+    out: list[tuple[int, list[int]]] = []
+    rest = list(dests)
+    while rest:
+        mid = (len(rest) + 1) // 2
+        out.append((rest[0], rest[1:mid]))
+        rest = rest[mid:]
+    return out
+
+
+def placement_of(graph: TaskGraph, dist: Distribution) -> dict[TaskId, int]:
+    """Owner-computes task placement: task -> rank owning its output tile."""
+    return {tid: dist.owner(*t.out_tile) for tid, t in graph.tasks.items()}
+
+
+def _tile_nbytes(tile) -> int:
+    """Actual factor bytes a tile occupies on the wire."""
+    if isinstance(tile, LowRankTile):
+        return tile.u.nbytes + tile.v.nbytes
+    return tile.data.nbytes
+
+
+def _remote_dest_ranks(graph, placement, tid, completed) -> list[int]:
+    """Ranks owning a not-yet-completed remote consumer of ``tid``."""
+    me = placement[tid]
+    dests = {
+        placement[e.dst]
+        for e in graph.succs.get(tid, [])
+        if placement[e.dst] != me and e.dst not in completed
+    }
+    return sorted(dests)
+
+
+class _RankStore:
+    """A rank's private tile store, quacking like the matrix for kernels.
+
+    Holds the tiles this rank owns plus read-only snapshots received
+    from peers.  Missing tiles are a protocol error, not a KeyError.
+    """
+
+    def __init__(self, tiles: dict[tuple[int, int], object]):
+        self.tiles = tiles
+
+    def tile(self, i: int, j: int):
+        try:
+            return self.tiles[(i, j)]
+        except KeyError:
+            raise RuntimeSystemError(
+                f"tile ({i}, {j}) is neither owned by nor received on "
+                "this rank — placement/dataflow mismatch"
+            ) from None
+
+    def set_tile(self, i: int, j: int, tile) -> None:
+        self.tiles[(i, j)] = tile
+
+
+@dataclass
+class _RankConfig:
+    """Everything one rank needs; must stay picklable for spawn starts."""
+
+    rank: int
+    n_ranks: int
+    graph: TaskGraph
+    dist: Distribution
+    tiles: dict[tuple[int, int], object]
+    rule: TruncationRule
+    backend_name: str
+    use_pool: bool
+    completed: frozenset
+    resend: tuple
+    faults: object
+    recovery: object
+    ckpt_every: int | None
+    collect_trace: bool
+    t0_wall: float
+    deadline: float | None
+    attempt: int
+    chaos_kill: tuple[int, int] | None
+
+
+class _Aborted(Exception):
+    """Internal: the controller signalled abort; exit quietly."""
+
+
+def _rank_main(cfg: _RankConfig, inboxes, results, abort) -> None:
+    """Top-level worker body (one per rank; process or thread).
+
+    Communicates only through the queue objects it was handed, so the
+    same function runs on ``multiprocessing`` queues in real processes
+    and on ``queue.Queue`` in the in-process harness the tests use.
+    """
+    try:
+        payload = _rank_body(cfg, inboxes, results, abort)
+    except _Aborted:
+        return
+    except BaseException:
+        try:
+            results.put(("error", cfg.rank, traceback.format_exc()))
+        except Exception:
+            pass
+        return
+    results.put(("done", cfg.rank, payload))
+    # Drain until the controller's stop: a peer may still route a
+    # (defensive) forward through us even though all our tasks are done.
+    _drain_until_stop(cfg, inboxes, abort)
+
+
+def _drain_until_stop(cfg, inboxes, abort) -> None:
+    inbox = inboxes[cfg.rank]
+    while True:
+        try:
+            msg = inbox.get(timeout=0.25)
+        except _queue.Empty:
+            if abort is not None and abort.is_set():
+                return
+            continue
+        if msg[0] == "stop":
+            return
+        if msg[0] == "tile":
+            _, _src_tid, _ij, tile, subtree = msg
+            for child, sub in binomial_children(list(subtree)):
+                inboxes[child].put(("tile", _src_tid, _ij, tile, sub))
+
+
+def _rank_body(cfg: _RankConfig, inboxes, results, abort) -> dict:
+    # Defensive under fork starts: the child must not write into the
+    # parent's (copied) observation sinks — spans are replayed by the
+    # controller from the returned trace instead.
+    try:
+        obs._active.clear()
+    except Exception:
+        pass
+
+    from ..linalg.backends import get_backend
+
+    graph, dist, me = cfg.graph, cfg.dist, cfg.rank
+    placement = placement_of(graph, dist)
+    backend = get_backend(cfg.backend_name)
+    store = _RankStore(dict(cfg.tiles))
+    inbox = inboxes[me]
+    completed = set(cfg.completed)
+
+    report = ExecutionReport()
+    pooled: dict[int, object] = {}
+    stats_lock = threading.Lock()
+    manager = build_manager(cfg.faults, cfg.recovery)
+    if manager is not None:
+
+        def _discard(tile) -> None:
+            if isinstance(tile, LowRankTile):
+                for arr in (tile.u, tile.v):
+                    if pooled.pop(id(arr), None) is not None:
+                        report.pool.release(arr)
+
+        manager.discard = _discard
+
+    # Communication + dataflow accounting, simulator conventions:
+    # logical messages/bytes are counted once per (producer task,
+    # consumer rank) at the producer; wire counts follow the actual tree
+    # hops with actual factor sizes.
+    comm = {
+        "local_edges": 0, "remote_edges": 0, "messages": 0,
+        "bytes_sent": 0, "broadcasts": 0,
+        "wire_messages": 0, "wire_bytes": 0,
+    }
+    df_edges: dict[tuple, int] = {}
+    df_bytes: dict[tuple, int] = {}
+    arrived: set[TaskId] = set()
+    trace: list[tuple] = []
+    busy = 0.0
+    kill_budget = None
+    if cfg.chaos_kill is not None and cfg.attempt == 0 and \
+            cfg.chaos_kill[0] == me:
+        kill_budget = int(cfg.chaos_kill[1])
+
+    def _check_liveness() -> None:
+        if abort is not None and abort.is_set():
+            raise _Aborted()
+        if cfg.deadline is not None and time.time() > cfg.deadline:
+            raise RuntimeSystemError(
+                f"rank {me} exceeded the {cfg.deadline - cfg.t0_wall:.1f}s "
+                "distributed-execution deadline"
+            )
+
+    def _pump(block: bool) -> bool:
+        """Receive one message; forward tree hops; record arrivals."""
+        try:
+            msg = inbox.get(timeout=0.2) if block else inbox.get_nowait()
+        except _queue.Empty:
+            _check_liveness()
+            return False
+        if msg[0] == "stop":  # only sent after we report done
+            return False
+        _, src_tid, ij, tile, subtree = msg
+        for child, sub in binomial_children(list(subtree)):
+            inboxes[child].put(("tile", src_tid, ij, tile, sub))
+            comm["wire_messages"] += 1
+            comm["wire_bytes"] += _tile_nbytes(tile)
+        store.set_tile(*ij, tile)
+        arrived.add(src_tid)
+        return True
+
+    def _send_output(tid) -> None:
+        dests = _remote_dest_ranks(graph, placement, tid, completed_remote)
+        if not dests:
+            return
+        task = graph.tasks[tid]
+        tile = store.tile(*task.out_tile)
+        elements = next(
+            (e.elements for e in graph.succs.get(tid, [])
+             if placement[e.dst] != me),
+            0,
+        )
+        comm["messages"] += len(dests)
+        comm["bytes_sent"] += elements * 8 * len(dests)
+        if len(dests) > 1:
+            comm["broadcasts"] += 1
+        for child, sub in binomial_children(dests):
+            inboxes[child].put(("tile", tid, task.out_tile, tile, sub))
+            comm["wire_messages"] += 1
+            comm["wire_bytes"] += _tile_nbytes(tile)
+
+    # Consumers already restored from a checkpoint must not be re-sent
+    # to; my own completed set grows during the run but remote-dest
+    # pruning only ever consults the restored frontier.
+    completed_remote = frozenset(completed)
+
+    # My tasks, my panels, my remote inputs.
+    order = graph.topological_order()
+    mine = [tid for tid in order if placement[tid] == me]
+    panel_remaining: dict[int, int] = {}
+    for tid in mine:
+        if tid not in completed:
+            p = graph.tasks[tid].panel
+            panel_remaining[p] = panel_remaining.get(p, 0) + 1
+
+    try:
+        # Resume: re-publish the final tile versions that restored-away
+        # consumers on other ranks still need (the checkpoint frontier
+        # is a per-rank-consistent cut; remote payloads are final tile
+        # versions, so resending from restored state is always valid).
+        for tid in cfg.resend:
+            _send_output(tid)
+
+        for tid in mine:
+            if tid in completed:
+                continue
+            task = graph.tasks[tid]
+            for e in task.deps:
+                src_owner = placement[e.src]
+                loc = "local" if src_owner == me else "remote"
+                key = (graph.tasks[e.src].kind, task.kind, loc)
+                df_edges[key] = df_edges.get(key, 0) + 1
+                if loc == "local":
+                    comm["local_edges"] += 1
+                else:
+                    comm["remote_edges"] += 1
+                    bkey = (graph.tasks[e.src].kind, task.kind)
+                    df_bytes[bkey] = df_bytes.get(bkey, 0) + e.elements * 8
+                    # Block until the producer's tile lands — whether it
+                    # was just executed or resent from a restored
+                    # checkpoint frontier on the producer's rank.
+                    while e.src not in arrived:
+                        _pump(block=True)
+            start = time.time() - cfg.t0_wall
+            if manager is not None:
+                out, recomp = manager.run(
+                    task, store,
+                    lambda: _compute_task(
+                        tid, task, store, cfg.rule, backend, report.counter
+                    ),
+                )
+            else:
+                out, recomp = _compute_task(
+                    tid, task, store, cfg.rule, backend, report.counter
+                )
+            _commit_task(
+                tid, task, out, recomp, store, report, pooled,
+                cfg.use_pool, stats_lock,
+            )
+            end = time.time() - cfg.t0_wall
+            busy += end - start
+            trace.append((tid, me, start, end))
+            report.tasks_executed += 1
+            completed.add(tid)
+            if kill_budget is not None:
+                kill_budget -= 1
+                if kill_budget <= 0:
+                    import os as _os
+
+                    _os._exit(17)  # simulated rank crash, no cleanup
+            _send_output(tid)
+            p = task.panel
+            panel_remaining[p] -= 1
+            if panel_remaining[p] == 0 and cfg.ckpt_every is not None:
+                # Frontier shard: this rank's owned-tile state and
+                # completed set are a consistent per-rank prefix the
+                # controller merges into a global checkpoint.  The tiles
+                # MUST be deep-copied: a multiprocessing queue pickles
+                # lazily (in the feeder thread), and the in-place
+                # POTRF/SYRK kernels would otherwise mutate tiles after
+                # ``put`` but before serialization, desynchronizing the
+                # shard's tile state from its completed set.
+                owned = {
+                    ij: t.copy() for ij, t in store.tiles.items()
+                    if dist.owner(*ij) == me
+                }
+                results.put(("panel", me, p, {
+                    "tiles": owned,
+                    "completed": list(completed),
+                }))
+            while _pump(block=False):  # keep forwarding latency low
+                pass
+    finally:
+        if manager is not None:
+            manager.close()
+
+    resilience = manager.report if manager is not None else None
+    return {
+        "rank": me,
+        "tiles": {
+            ij: t for ij, t in store.tiles.items() if dist.owner(*ij) == me
+        },
+        "counter": report.counter,
+        "rank_growth_events": report.rank_growth_events,
+        "max_rank_seen": report.max_rank_seen,
+        "tasks_executed": report.tasks_executed,
+        "busy": busy,
+        "trace": trace,
+        "comm": comm,
+        "df_edges": df_edges,
+        "df_bytes": df_bytes,
+        "resilience": resilience,
+        "pool_stats": report.pool.stats,
+    }
+
+
+@dataclass
+class DistributedExecutionReport:
+    """Artifacts of a multi-process (numerical) graph execution.
+
+    Same accounting surface as
+    :class:`~repro.runtime.parallel.ParallelExecutionReport` (one rank
+    per lane: ``nodes = n_ranks``, ``cores_per_node = 1``) plus the
+    realized communication volume.
+
+    Attributes
+    ----------
+    comm:
+        Realized LOCAL/REMOTE edge counts, logical messages/bytes and
+        broadcast count under the simulator's conventions — directly
+        comparable with ``simulate(...).comm``.
+    dataflow:
+        Realized per-(src kind, dst kind, locality) edge breakdown; on a
+        fresh (non-resumed) run it equals
+        ``classify_dataflow(graph, dist)`` exactly.
+    wire_messages / wire_bytes:
+        Actual tree-hop message count and payload bytes (measured factor
+        sizes, including forwarding hops) — the realized counterpart of
+        the modelled ``comm.bytes_sent``.
+    placement:
+        Task id -> owning rank, as executed.
+    rank_restarts:
+        Times the controller relaunched the run after losing a rank
+        process.
+    """
+
+    counter: FlopCounter = field(default_factory=FlopCounter)
+    tracker: MemoryTracker = field(default_factory=MemoryTracker)
+    pool: MemoryPool = field(default_factory=MemoryPool)
+    rank_growth_events: int = 0
+    max_rank_seen: int = 0
+    tasks_executed: int = 0
+    tasks_resumed: int = 0
+    resilience: ResilienceReport | None = None
+    n_ranks: int = 1
+    makespan: float = 0.0
+    busy: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    total_flops: float = 0.0
+    trace: list[tuple] | None = None
+    comm: CommStats = field(default_factory=CommStats)
+    dataflow: DataflowBreakdown = field(default_factory=DataflowBreakdown)
+    wire_messages: int = 0
+    wire_bytes: int = 0
+    placement: dict = field(default_factory=dict)
+    rank_restarts: int = 0
+
+    @property
+    def n_workers(self) -> int:
+        """Rank count, under the thread-report's attribute name."""
+        return self.n_ranks
+
+    @property
+    def nodes(self) -> int:
+        return self.n_ranks
+
+    @property
+    def cores_per_node(self) -> int:
+        return 1
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """Per-rank busy fraction in [0, 1]."""
+        return self.busy / max(self.makespan, 1e-300)
+
+    @property
+    def achieved_gflops(self) -> float:
+        return self.total_flops / max(self.makespan, 1e-300) / 1e9
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        return float(self.busy.sum()) / max(self.makespan, 1e-300)
+
+
+def _leading_panels_done(panel_tasks, union_completed) -> int:
+    done = 0
+    for p in sorted(panel_tasks):
+        if panel_tasks[p] <= union_completed:
+            done += 1
+        else:
+            break
+    return done
+
+
+class _RankDied(Exception):
+    def __init__(self, ranks):
+        self.ranks = ranks
+        super().__init__(f"rank process(es) died: {ranks}")
+
+
+def execute_graph_distributed(
+    graph: TaskGraph,
+    matrix: BandTLRMatrix,
+    *,
+    n_ranks: int | None = None,
+    distribution: Distribution | None = None,
+    rule: TruncationRule | None = None,
+    use_pool: bool = True,
+    collect_trace: bool = False,
+    backend=None,
+    faults=None,
+    recovery=None,
+    checkpoint=None,
+    resume: bool = False,
+    timeout_s: float | None = 300.0,
+    max_restarts: int = 2,
+    _chaos_kill: tuple[int, int] | None = None,
+    _inline: bool = False,
+) -> DistributedExecutionReport:
+    """Execute a Cholesky task graph on ``n_ranks`` OS processes.
+
+    Parameters mirror :func:`~repro.runtime.parallel
+    .execute_graph_parallel` where they overlap; the differences:
+
+    Parameters
+    ----------
+    n_ranks:
+        Rank (process) count; defaults to the distribution's size, or 2.
+    distribution:
+        Tile-to-rank placement; defaults to the paper's hybrid
+        :class:`~repro.distribution.BandDistribution` on the squarest
+        process grid.  ``distribution.nprocs`` must equal ``n_ranks``.
+    faults / recovery:
+        Per-rank retry/rollback engine; ``faults`` must be a spec string
+        or :class:`~repro.testing.faults.FaultPlan` (a live injector
+        holds unpicklable state).
+    checkpoint / resume:
+        Standard checkpoint archives, written by the controller from
+        per-rank frontier shards; interchangeable with the sequential
+        and thread executors' checkpoints.
+    timeout_s:
+        Wall-clock deadline for the whole execution (``None`` disables);
+        a stuck rank fails the run instead of hanging it.
+    max_restarts:
+        Relaunch budget when a rank process dies mid-run: the run
+        restarts from the latest checkpoint when one exists (the
+        controller's matrix is untouched until the final gather, so a
+        from-scratch restart is equally safe).
+    _chaos_kill:
+        Test hook ``(rank, after_n_tasks)``: that rank hard-exits after
+        committing N tasks on the first attempt — exercises the
+        controller's lost-rank recovery path.
+    _inline:
+        Run ranks on threads with plain queues instead of processes
+        (identical code path; used by tests so coverage instruments the
+        worker loop, and per-rank tile stores are deep-copied to
+        preserve address-space isolation semantics).
+
+    Returns
+    -------
+    DistributedExecutionReport
+    """
+    if distribution is None:
+        if n_ranks is None:
+            n_ranks = 2
+        check_positive_int("n_ranks", n_ranks)
+        distribution = BandDistribution(
+            ProcessGrid.squarest(n_ranks), band_size=graph.band_size
+        )
+    else:
+        if n_ranks is None:
+            n_ranks = distribution.nprocs
+        elif distribution.nprocs != n_ranks:
+            raise ConfigurationError(
+                f"distribution targets {distribution.nprocs} ranks but "
+                f"n_ranks={n_ranks}"
+            )
+    if graph.ntiles != matrix.ntiles:
+        raise RuntimeSystemError(
+            f"graph is for NT={graph.ntiles} but the matrix has NT={matrix.ntiles}"
+        )
+    if graph.band_size != matrix.band_size:
+        raise RuntimeSystemError(
+            f"graph band_size={graph.band_size} does not match "
+            f"matrix band_size={matrix.band_size}"
+        )
+    for tid, task in graph.tasks.items():
+        if tid != _canonical_tid(task):
+            raise RuntimeSystemError(
+                "distributed executor received an expanded graph; build "
+                "it without recursive_split"
+            )
+    if faults is not None and not isinstance(faults, str):
+        from ..testing.faults import FaultPlan
+
+        if not isinstance(faults, FaultPlan):
+            raise ConfigurationError(
+                "the distributed executor needs faults as a spec string "
+                "or FaultPlan (live injectors cannot cross processes)"
+            )
+    if _chaos_kill is not None and _inline:
+        raise ConfigurationError(
+            "_chaos_kill requires real processes (_inline=False)"
+        )
+
+    rule = rule or matrix.rule
+    from ..linalg.backends import get_backend
+
+    backend_obj = get_backend(backend if backend is not None else matrix.backend)
+    if type(get_backend(backend_obj.name)) is not type(backend_obj):
+        raise ConfigurationError(
+            f"backend {backend_obj!r} is not registry-resolvable by name; "
+            "the distributed executor rebuilds backends by name in each rank"
+        )
+
+    placement = placement_of(graph, distribution)
+    ckptr = as_checkpointer(checkpoint)
+
+    report = DistributedExecutionReport(n_ranks=n_ranks)
+    report.tracker.register_matrix(matrix)
+    report.total_flops = graph.total_flops()
+    report.placement = placement
+    rrep = ResilienceReport() if (
+        ckptr is not None or faults is not None or recovery is not None
+        or _chaos_kill is not None
+    ) else None
+    report.resilience = rrep
+
+    panel_tasks: dict[int, set] = {}
+    for tid, task in graph.tasks.items():
+        panel_tasks.setdefault(task.panel, set()).add(tid)
+
+    observing = obs.enabled()
+    if observing:
+        obs.graph_observed(graph, task_name)
+
+    restarts = 0
+    while True:
+        completed0: set = set()
+        if resume or restarts:
+            if ckptr is not None:
+                ck = ckptr.load_latest()
+                if ck is not None:
+                    ckptr.validate_against(graph, matrix, ck)
+                    for ij, tile in ck.matrix.tiles.items():
+                        matrix.set_tile(*ij, tile)
+                    completed0 = set(ck.completed)
+        resend: dict[int, list] = {r: [] for r in range(n_ranks)}
+        for tid in completed0:
+            if _remote_dest_ranks(graph, placement, tid, completed0):
+                resend[placement[tid]].append(tid)
+
+        try:
+            _run_once(
+                graph, matrix, distribution, placement, n_ranks,
+                completed0, resend, rule, backend_obj.name, use_pool,
+                faults, recovery, ckptr, panel_tasks, rrep, report,
+                collect_trace or observing, timeout_s,
+                _chaos_kill, restarts, _inline,
+            )
+        except _RankDied as died:
+            restarts += 1
+            if restarts > max_restarts:
+                raise RuntimeSystemError(
+                    f"distributed execution lost rank(s) {died.ranks} and "
+                    f"exhausted {max_restarts} restarts"
+                ) from died
+            if rrep is not None:
+                rrep.recoveries += 1
+            report.rank_restarts = restarts
+            obs.counter_add("rank_restarted")
+            continue
+        break
+
+    report.tasks_resumed = len(completed0)
+    if rrep is not None:
+        rrep.tasks_resumed = max(rrep.tasks_resumed, len(completed0))
+
+    if ckptr is not None and report.tasks_executed:
+        ckptr.save(matrix, set(graph.tasks), len(panel_tasks))
+        if rrep is not None:
+            rrep.checkpoints_written += 1
+
+    if not collect_trace:
+        report.trace = None
+
+    if observing:
+        obs.gauge_set("makespan_s", report.makespan, executor="distributed")
+        obs.counter_add(
+            "tasks_executed", report.tasks_executed, executor="distributed"
+        )
+        for r in range(n_ranks):
+            obs.gauge_set(
+                "worker_occupancy",
+                float(report.busy[r]) / max(report.makespan, 1e-300),
+                worker=str(r),
+            )
+        obs.counter_add("remote_messages", report.comm.messages)
+        obs.counter_add("remote_bytes", report.comm.bytes_sent)
+    return report
+
+
+def _run_once(
+    graph, matrix, dist, placement, n_ranks, completed0, resend,
+    rule, backend_name, use_pool, faults, recovery, ckptr, panel_tasks,
+    rrep, report, collect_trace, timeout_s, chaos_kill, attempt, inline,
+) -> None:
+    """One launch-collect-gather attempt; raises ``_RankDied`` on loss."""
+    t0_wall = time.time()
+    t0_obs = obs.clock()
+    deadline = None if timeout_s is None else t0_wall + timeout_s
+
+    def make_cfg(r: int) -> _RankConfig:
+        owned = {
+            ij: (t.copy() if inline else t)
+            for ij, t in matrix.tiles.items()
+            if dist.owner(*ij) == r
+        }
+        return _RankConfig(
+            rank=r, n_ranks=n_ranks, graph=graph, dist=dist, tiles=owned,
+            rule=rule, backend_name=backend_name, use_pool=use_pool,
+            completed=frozenset(completed0), resend=tuple(resend[r]),
+            faults=faults, recovery=recovery,
+            ckpt_every=None if ckptr is None else ckptr.config.every,
+            collect_trace=collect_trace, t0_wall=t0_wall,
+            deadline=deadline, attempt=attempt, chaos_kill=chaos_kill,
+        )
+
+    if inline:
+        inboxes = [_queue.Queue() for _ in range(n_ranks)]
+        results: object = _queue.Queue()
+        abort: object = threading.Event()
+        workers = [
+            threading.Thread(
+                target=_rank_main,
+                args=(make_cfg(r), inboxes, results, abort),
+                name=f"repro-rank-{r}",
+            )
+            for r in range(n_ranks)
+        ]
+        for w in workers:
+            w.start()
+    else:
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context("spawn")
+        inboxes = [ctx.Queue() for _ in range(n_ranks)]
+        results = ctx.Queue()
+        abort = ctx.Event()
+        workers = [
+            ctx.Process(
+                target=_rank_main,
+                args=(make_cfg(r), inboxes, results, abort),
+                name=f"repro-rank-{r}",
+            )
+            for r in range(n_ranks)
+        ]
+        for w in workers:
+            w.start()
+
+    def _alive(r: int) -> bool:
+        return workers[r].is_alive()
+
+    payloads: dict[int, dict] = {}
+    latest_shard: dict[int, dict] = {}
+    last_saved_panels = _leading_panels_done(panel_tasks, completed0)
+    error: tuple[int, str] | None = None
+    lost: list[int] = []
+    try:
+        while len(payloads) < n_ranks and error is None and not lost:
+            try:
+                msg = results.get(timeout=0.25)
+            except _queue.Empty:
+                if deadline is not None and time.time() > deadline:
+                    raise RuntimeSystemError(
+                        f"distributed execution exceeded {timeout_s:.1f}s; "
+                        f"{n_ranks - len(payloads)} rank(s) still running"
+                    )
+                lost = [
+                    r for r in range(n_ranks)
+                    if r not in payloads and not _alive(r)
+                ]
+                continue
+            kind = msg[0]
+            if kind == "done":
+                payloads[msg[1]] = msg[2]
+            elif kind == "error":
+                error = (msg[1], msg[2])
+            elif kind == "panel" and ckptr is not None:
+                latest_shard[msg[1]] = msg[3]
+                union = set(completed0)
+                for shard in latest_shard.values():
+                    union.update(shard["completed"])
+                panels_done = _leading_panels_done(panel_tasks, union)
+                if (
+                    panels_done - last_saved_panels >= ckptr.config.every
+                    and len(union) < len(graph.tasks)
+                ):
+                    snap = matrix.copy()
+                    for shard in latest_shard.values():
+                        for ij, tile in shard["tiles"].items():
+                            snap.set_tile(*ij, tile)
+                    ckptr.save(snap, union, panels_done)
+                    if rrep is not None:
+                        rrep.checkpoints_written += 1
+                    last_saved_panels = panels_done
+    finally:
+        abort_now = error is not None or lost or len(payloads) < n_ranks
+        if abort_now:
+            abort.set()
+        for r in range(n_ranks):
+            try:
+                inboxes[r].put(("stop",))
+            except Exception:
+                pass
+        for w in workers:
+            w.join(timeout=2.0)
+        if not inline:
+            for w in workers:
+                if w.is_alive():  # pragma: no cover - stuck rank
+                    w.terminate()
+                    w.join(timeout=2.0)
+            # Unblock queue feeder threads so interpreter shutdown does
+            # not wait on undelivered messages.
+            for q in (*inboxes, results):
+                try:
+                    q.cancel_join_thread()
+                except Exception:
+                    pass
+
+    if error is not None:
+        raise RuntimeSystemError(
+            f"rank {error[0]} failed while executing the graph:\n{error[1]}"
+        )
+    if lost:
+        raise _RankDied(lost)
+
+    makespan = time.time() - t0_wall
+
+    # Gather: each rank returns the final state of the tiles it owns.
+    for payload in payloads.values():
+        for ij, tile in payload["tiles"].items():
+            matrix.set_tile(*ij, tile)
+
+    busy = np.zeros(n_ranks)
+    trace: list[tuple] = []
+    comm = CommStats()
+    df = DataflowBreakdown()
+    report.counter = FlopCounter()
+    report.rank_growth_events = 0
+    report.max_rank_seen = 0
+    report.tasks_executed = 0
+    report.wire_messages = 0
+    report.wire_bytes = 0
+    for r, payload in sorted(payloads.items()):
+        report.counter.merge(payload["counter"])
+        report.rank_growth_events += payload["rank_growth_events"]
+        report.max_rank_seen = max(
+            report.max_rank_seen, payload["max_rank_seen"]
+        )
+        report.tasks_executed += payload["tasks_executed"]
+        busy[r] = payload["busy"]
+        trace.extend(payload["trace"])
+        c = payload["comm"]
+        comm.local_edges += c["local_edges"]
+        comm.remote_edges += c["remote_edges"]
+        comm.messages += c["messages"]
+        comm.bytes_sent += c["bytes_sent"]
+        comm.broadcasts += c["broadcasts"]
+        report.wire_messages += c["wire_messages"]
+        report.wire_bytes += c["wire_bytes"]
+        for key, cnt in payload["df_edges"].items():
+            df.edges[key] = df.edges.get(key, 0) + cnt
+        for key, nbytes in payload["df_bytes"].items():
+            df.bytes_remote[key] = df.bytes_remote.get(key, 0) + nbytes
+        sub = payload["resilience"]
+        if sub is not None and rrep is not None:
+            rrep.retries += sub.retries
+            rrep.recoveries += sub.recoveries
+            rrep.npd_shifts += sub.npd_shifts
+            rrep.densify_fallbacks += sub.densify_fallbacks
+            rrep.watchdog_requeues += sub.watchdog_requeues
+
+    report.makespan = makespan
+    report.busy = busy
+    report.comm = comm
+    report.dataflow = df
+    report.trace = sorted(trace, key=lambda rec: (rec[1], rec[2]))
+
+    if obs.enabled():
+        for tid, r, start, end in report.trace:
+            task = graph.tasks[tid]
+            obs.record_span(
+                task_name(tid), "task",
+                start=t0_obs + start, end=t0_obs + end,
+                thread=f"rank-{r}", worker=r,
+                kernel=task.kernel.value, flops=task.flops,
+            )

@@ -92,3 +92,35 @@ def test_every_cli_flag_is_documented():
     for sub, flags in spec.items():
         for flag in flags - {"-h", "--help"}:
             assert flag in corpus, f"`repro {sub} {flag}` is undocumented"
+
+
+def test_executor_flags_agree_with_docs():
+    """The distributed-executor flags exist, with the documented choices,
+    and the docs show them in actual invocations (not just prose)."""
+    spec = _cli_spec()
+    assert {"--executor", "--ranks", "--calibrate-from"} <= spec["execute"]
+
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    )
+    execute = sub.choices["execute"]
+    choices = next(
+        act.choices for act in execute._actions
+        if "--executor" in act.option_strings
+    )
+    assert set(choices) == {"threads", "processes", "sim"}
+
+    used = set()
+    for path in DOC_FILES:
+        for cmd, rest in _repro_invocations(path.read_text()):
+            if cmd == "execute":
+                for m in re.finditer(r"--executor\s+(\S+)", rest):
+                    used.add(m.group(1))
+    # The docs demonstrate both the real distributed backend and the
+    # predicted one, with backend names the parser accepts.
+    assert {"processes", "sim"} <= used
+    assert used <= set(choices)
