@@ -60,8 +60,8 @@ def perf_timer():
     run = "ablation-" + time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
     ts = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
-    def timer(name, fn, *, config=None, repeats=3, warmup=0):
-        timing = perf.measure(fn, warmup=warmup, repeats=repeats)
+    def timer(name, fn, *, config=None, repeats=3, warmup=0, setup=None):
+        timing = perf.measure(fn, warmup=warmup, repeats=repeats, setup=setup)
         records.append(
             perf.BenchRecord(
                 name=name, run=run, timing=timing,

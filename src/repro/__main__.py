@@ -120,22 +120,30 @@ def _run_demo(args: argparse.Namespace) -> int:
         problem,
         accuracy=args.accuracy,
         compression=args.compression,
+        precision=args.precision,
         n_workers=args.workers,
     )
     mn, avg, mx = solver.matrix.rank_stats()
-    print(f"compressed at eps={args.accuracy:g} [{args.compression}]: "
-          f"band={solver.band_size}, ranks {mn}/{avg:.1f}/{mx}")
+    print(f"compressed at eps={args.accuracy:g} [{args.compression}] "
+          f"precision={args.precision}: band={solver.band_size}, "
+          f"ranks {mn}/{avg:.1f}/{mx}")
 
     t0 = time.perf_counter()
     rep = solver.factorize(
         n_workers=args.workers,
+        batch=args.batch,
         faults=_fault_plan(args),
         checkpoint=args.checkpoint,
         resume=args.resume,
     )
     how = f" on {args.workers} workers" if args.workers else ""
+    how += " [batched]" if args.batch else ""
     print(f"factorized in {time.perf_counter() - t0:.2f}s{how} "
           f"({rep.counter.total / 1e9:.2f} modelled Gflop)")
+    pr = rep.precision_report
+    if pr is not None and pr.mode != "fp64":
+        print(f"mixed precision [{pr.mode}]: {pr.demoted_tiles} fp32 tiles, "
+              f"off-band bytes {pr.offband_saving_factor:.2f}x smaller")
     _print_resilience(rep)
 
     rng = np.random.default_rng(args.seed)
@@ -249,8 +257,13 @@ def _run_execute(args: argparse.Namespace) -> int:
         rule,
         band_size=args.band,
         backend=args.compression,
+        precision=args.precision,
         n_workers=args.workers,
     )
+    if matrix.precision is not None:
+        from repro.linalg import apply_precision
+
+        apply_precision(matrix, matrix.precision)
     grid = matrix.rank_grid()
 
     def rank_fn(i: int, j: int) -> int:
@@ -277,9 +290,14 @@ def _run_execute(args: argparse.Namespace) -> int:
         ex = get_executor(
             "threads", n_workers=args.workers, scheduler=args.scheduler
         )
+    # Batching needs shared-memory tiles: only the thread executor (and
+    # the sequential reference) supports it, so the flag is dropped for
+    # the processes backend instead of erroring on the default.
+    use_batch = args.batch and args.executor == "threads"
     res = ex.execute(
         graph, matrix,
         collect_trace=want_trace,
+        batch=use_batch,
         faults=_fault_plan(args),
         checkpoint=args.checkpoint,
         resume=args.resume,
@@ -294,6 +312,8 @@ def _run_execute(args: argparse.Namespace) -> int:
         ("modelled Gflop", round(res.counter.total / 1e9, 2)),
         ("max rank seen", res.max_rank_seen),
         ("pool hit rate", round(res.pool.stats.hit_rate, 3)),
+        ("batched", "on" if use_batch else "off"),
+        ("precision", args.precision),
     ]
     if args.executor == "processes":
         c = res.comm
@@ -521,9 +541,21 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--workers", type=int, default=None,
                    help="factorize on the parallel executor with N threads "
                         "(also parallelizes matrix assembly)")
-    d.add_argument("--compression", choices=["svd", "rsvd"], default="svd",
-                   help="compression backend: exact SVD or adaptive "
-                        "randomized SVD")
+    d.add_argument("--compression", choices=["svd", "rsvd", "auto"],
+                   default="auto",
+                   help="compression backend: exact SVD, adaptive "
+                        "randomized SVD, or auto (exact below the "
+                        "crossover tile size, randomized above)")
+    d.add_argument("--precision", choices=["fp64", "adaptive", "fp32"],
+                   default="fp64",
+                   help="off-band low-rank storage precision: fp64, "
+                        "adaptive (fp32 when the accuracy threshold "
+                        "permits), or fp32 (forced)")
+    d.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="group same-shape kernels into stacked BLAS/LAPACK "
+                        "calls (bitwise-identical factor; --no-batch "
+                        "disables)")
     d.add_argument("--obs", type=str, default=None, metavar="DIR",
                    help="record spans + metrics and write trace/summary/"
                         "Prometheus artifacts into DIR")
@@ -580,9 +612,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --executor sim: drive the simulator with "
                         "per-kernel median durations measured from the "
                         "--obs directory of a real run")
-    e.add_argument("--compression", choices=["svd", "rsvd"], default="svd",
-                   help="compression backend: exact SVD or adaptive "
-                        "randomized SVD")
+    e.add_argument("--compression", choices=["svd", "rsvd", "auto"],
+                   default="auto",
+                   help="compression backend: exact SVD, adaptive "
+                        "randomized SVD, or auto (exact below the "
+                        "crossover tile size, randomized above)")
+    e.add_argument("--precision", choices=["fp64", "adaptive", "fp32"],
+                   default="fp64",
+                   help="off-band low-rank storage precision: fp64, "
+                        "adaptive (fp32 when the accuracy threshold "
+                        "permits), or fp32 (forced)")
+    e.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="group same-shape kernels into stacked BLAS/LAPACK "
+                        "calls (threads executor only; bitwise-identical "
+                        "factor; --no-batch disables)")
     e.add_argument("--scheduler", choices=["priority", "fifo", "lifo"],
                    default="priority")
     e.add_argument("--compare-sequential", action="store_true",

@@ -68,6 +68,7 @@ class TLRSolver:
         fluctuation: float = 0.67,
         maxrank: int | None = None,
         compression=None,
+        precision=None,
         n_workers: int | None = None,
     ) -> "TLRSolver":
         """Compress a covariance problem, auto-tuning the dense band.
@@ -89,10 +90,17 @@ class TLRSolver:
             descriptor uses ``b/2``); ``None`` = uncapped dynamic ranks.
         compression:
             Compression backend: ``"svd"`` (exact, default), ``"rsvd"``
-            (adaptive randomized), or a
+            (adaptive randomized), ``"auto"`` (exact below the measured
+            crossover tile size, randomized above), or a
             :class:`~repro.linalg.backends.CompressionBackend` instance.
             Remembered by the matrix, so factorization recompressions use
             the same numerics.
+        precision:
+            Storage/compute precision for off-band low-rank tiles: a
+            mode name (``"fp64"``, ``"adaptive"``, ``"fp32"``) or a
+            :class:`~repro.linalg.precision.PrecisionPolicy`;
+            remembered by the matrix and honoured by
+            :meth:`factorize`.
         n_workers:
             Thread count for *assembly* (tile generation + compression);
             independent of the worker count later passed to
@@ -113,6 +121,7 @@ class TLRSolver:
                     rule,
                     band_size=1,
                     backend=compression,
+                    precision=precision,
                     n_workers=n_workers,
                 )
                 with obs.span("autotune_band", "phase"):
@@ -129,6 +138,7 @@ class TLRSolver:
                 rule,
                 band_size=band_size,
                 backend=compression,
+                precision=precision,
                 n_workers=n_workers,
             )
             return cls(matrix=matrix, problem=problem)
@@ -149,6 +159,8 @@ class TLRSolver:
         n_workers: int | None = None,
         executor=None,
         n_ranks: int | None = None,
+        batch: bool = False,
+        precision=None,
         faults=None,
         recovery=None,
         checkpoint=None,
@@ -165,6 +177,13 @@ class TLRSolver:
         distribution (again the same factor, bitwise, at any rank
         count); see :func:`~repro.core.factorize.tlr_cholesky`.
 
+        ``batch=True`` groups same-shape kernel invocations into
+        stacked BLAS/LAPACK calls; ``precision`` selects the
+        mixed-precision storage policy (defaults to the matrix's own).
+        Both keep the factor bitwise identical to their unbatched /
+        same-policy counterparts — see
+        :func:`~repro.core.factorize.tlr_cholesky`.
+
         ``faults``/``recovery``/``checkpoint``/``resume`` pass through to
         :func:`~repro.core.factorize.tlr_cholesky`'s resilience engine:
         fault injection (chaos testing), the retry/rollback recovery
@@ -177,6 +196,8 @@ class TLRSolver:
             n_workers=n_workers,
             executor=executor,
             n_ranks=n_ranks,
+            batch=batch,
+            precision=precision,
             faults=faults,
             recovery=recovery,
             checkpoint=checkpoint,

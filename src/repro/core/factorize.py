@@ -29,6 +29,12 @@ from .. import obs
 from ..linalg import hcore
 from ..linalg.compression import TruncationRule
 from ..linalg.flops import FlopCounter
+from ..linalg.precision import (
+    MixedPrecisionReport,
+    apply_precision,
+    mixed_precision_report,
+    resolve_precision,
+)
 from ..linalg.tiles import DenseTile, LowRankTile
 from ..matrix.tlr_matrix import BandTLRMatrix
 from ..utils.exceptions import ConfigurationError
@@ -65,6 +71,10 @@ class FactorizationReport:
     comm:
         Realized communication statistics (``None`` except on the
         process executor, whose ranks exchange tiles explicitly).
+    precision_report:
+        Post-factorization byte accounting of the factor's storage
+        dtypes (``None`` unless a precision policy was active); see
+        :class:`~repro.linalg.precision.MixedPrecisionReport`.
     """
 
     counter: FlopCounter = field(default_factory=FlopCounter)
@@ -75,6 +85,7 @@ class FactorizationReport:
     resilience: "ResilienceReport | None" = None
     executor: str = "sequential"
     comm: "CommStats | None" = None
+    precision_report: MixedPrecisionReport | None = None
 
 
 def tlr_cholesky(
@@ -86,6 +97,8 @@ def tlr_cholesky(
     executor=None,
     n_ranks: int | None = None,
     backend=None,
+    batch: bool = False,
+    precision=None,
     faults=None,
     recovery=None,
     checkpoint=None,
@@ -103,6 +116,23 @@ def tlr_cholesky(
     backend:
         Compression backend for the GEMM recompressions (instance,
         registry name, or ``None`` to use the matrix's backend).
+    batch:
+        Group same-shape, same-class kernel invocations into single
+        stacked BLAS/LAPACK calls (:mod:`repro.linalg.batched`).  The
+        factor stays bitwise identical to the unbatched run.  On the
+        default sequential path the right-looking loops batch each
+        panel wave in place; with ``n_workers``/``executor`` the graph
+        executors batch their ready windows.  Incompatible with
+        ``adaptive_threshold`` and the processes/sim executors, and
+        silently disabled while the recovery engine is active.
+    precision:
+        Storage/compute precision for off-band low-rank tiles: a mode
+        name (``"fp64"``, ``"adaptive"``, ``"fp32"``) or a
+        :class:`~repro.linalg.precision.PrecisionPolicy`.  ``None``
+        keeps the matrix's own policy (or all-float64 when it has
+        none).  The policy is applied to the tiles before
+        factorization and the report's ``precision_report`` holds the
+        post-factorization byte accounting.
     adaptive_threshold:
         When set (a fraction of the tile size, e.g. ``0.5``), a compressed
         tile whose rank exceeds ``adaptive_threshold * b`` after a
@@ -164,6 +194,11 @@ def tlr_cholesky(
             "adaptive_threshold requires the sequential path; "
             "it cannot be combined with n_workers"
         )
+    if batch and adaptive_threshold is not None:
+        raise ConfigurationError(
+            "adaptive_threshold rewrites tiles mid-flight; it cannot "
+            "be combined with kernel batching"
+        )
     if executor is not None and n_workers is not None:
         raise ConfigurationError(
             "n_workers is shorthand for executor='threads'; "
@@ -189,6 +224,13 @@ def tlr_cholesky(
         )
     if resume and checkpoint is None:
         raise ConfigurationError("resume=True requires a checkpoint directory")
+    policy = None
+    if precision is not None:
+        policy = resolve_precision(precision)
+    elif matrix.precision is not None:
+        policy = matrix.precision
+    if policy is not None:
+        apply_precision(matrix, policy)
     with obs.span(
         "tlr_cholesky",
         "phase",
@@ -200,12 +242,18 @@ def tlr_cholesky(
             report = _tlr_cholesky_graph(
                 matrix, rule, n_workers, backend,
                 faults, recovery, checkpoint, resume,
-                executor=executor, n_ranks=n_ranks,
+                executor=executor, n_ranks=n_ranks, batch=batch,
             )
+        elif batch:
+            report = _tlr_cholesky_sequential_batched(matrix, rule, backend)
         else:
             report = _tlr_cholesky_sequential(
                 matrix, rule, adaptive_threshold, backend
             )
+    if policy is not None:
+        report.precision_report = mixed_precision_report(
+            matrix, mode=policy.mode
+        )
     if obs.enabled():
         obs.gauge_set("rank_growth_events", report.rank_growth_events)
         obs.gauge_set("max_rank_seen", report.max_rank_seen)
@@ -279,6 +327,77 @@ def _tlr_cholesky_sequential(
     return report
 
 
+def _tlr_cholesky_sequential_batched(
+    matrix: BandTLRMatrix,
+    rule: TruncationRule,
+    backend,
+) -> FactorizationReport:
+    """The right-looking loops with per-wave kernel batching.
+
+    Each panel's TRSMs form one wave and each panel's trailing SYRK/GEMM
+    updates another; every task in a wave writes a distinct tile, so the
+    planner may group them freely and the factor is bitwise the one the
+    unbatched loops produce.  Batching here stays on the plain in-place
+    loops — no task graph, ready-set, or commit bookkeeping — so a
+    singleton-heavy wave costs the same as the unbatched path.
+    """
+    from ..linalg.batched import BatchItem, BatchPlanner, run_batch
+
+    nt = matrix.ntiles
+    report = FactorizationReport()
+    counter = report.counter
+    planner = BatchPlanner()
+    for k in range(nt):
+        hcore.potrf_dense(
+            matrix.tile(k, k), counter=counter, tile_index=(k, k)
+        )
+        trsms = [
+            BatchItem(
+                m, "trsm", (matrix.tile(k, k), matrix.tile(m, k)), index=(m, k)
+            )
+            for m in range(k + 1, nt)
+        ]
+        for group in planner.partition(trsms):
+            for res in run_batch(group, rule, counter=counter, backend=backend):
+                matrix.set_tile(res.ref, k, res.out)
+        updates = []
+        for n in range(k + 1, nt):
+            updates.append(
+                BatchItem(
+                    (n, n),
+                    "syrk",
+                    (matrix.tile(n, k), matrix.tile(n, n)),
+                    index=(n, n),
+                )
+            )
+            for m in range(n + 1, nt):
+                updates.append(
+                    BatchItem(
+                        (m, n),
+                        "gemm",
+                        (
+                            matrix.tile(m, k),
+                            matrix.tile(n, k),
+                            matrix.tile(m, n),
+                        ),
+                        index=(m, n),
+                    )
+                )
+        for group in planner.partition(updates):
+            for res in run_batch(group, rule, counter=counter, backend=backend):
+                m, n = res.ref
+                recomp = res.recomp
+                if recomp is not None:
+                    if recomp.grew:
+                        report.rank_growth_events += 1
+                    report.max_rank_seen = max(
+                        report.max_rank_seen, recomp.rank_after
+                    )
+                if res.out is not None:
+                    matrix.set_tile(m, n, res.out)
+    return report
+
+
 def _tlr_cholesky_graph(
     matrix: BandTLRMatrix,
     rule: TruncationRule,
@@ -291,6 +410,7 @@ def _tlr_cholesky_graph(
     *,
     executor=None,
     n_ranks: int | None = None,
+    batch: bool = False,
 ) -> FactorizationReport:
     """Run the factorization through a graph executor.
 
@@ -337,7 +457,7 @@ def _tlr_cholesky_graph(
         matrix.ntiles, matrix.band_size, matrix.desc.tile_size, rank_fn
     )
     run = ex.execute(
-        graph, matrix, rule=rule, backend=backend,
+        graph, matrix, rule=rule, backend=backend, batch=batch,
         faults=faults, recovery=recovery, checkpoint=checkpoint,
         resume=resume,
     )

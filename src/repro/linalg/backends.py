@@ -14,7 +14,13 @@ touching the tile algorithms:
   :class:`~repro.linalg.compression.TruncationRule` is certified, then a
   small SVD of the projected tile produces the truncated factors.  Tiles
   whose rank approaches the tile size fall back to the exact SVD (the
-  randomized scheme has no advantage there).
+  randomized scheme has no advantage there);
+* :class:`AutoBackend` (``"auto"``) — per-tile dispatch between the two:
+  BENCH_compression.json places the svd/rsvd crossover at b ≈ 200
+  (below it the randomized path *loses*, 0.66–0.86x, because per-tile
+  dispatch overhead dominates), so ``auto`` routes tiles with
+  ``min(m, n)`` below the crossover to the exact SVD and larger tiles to
+  ARA.  This is the library default.
 
 The ε certificate is two-stage.  The Frobenius residual
 ``||A - QQᵀA||_F² = ||A||_F² - ||B||_F²`` is tracked exactly and accepts
@@ -28,11 +34,16 @@ The estimate is probabilistic (like all of ARA); the certified factors
 carry an error of order ε rather than a hard ε guarantee.
 
 Recompression (QR-QR-SVD rounding) is rank-deterministic and shared by
-both backends; what the backend adds there is a reusable workspace: the
+all backends; what the backend adds there is a reusable workspace: the
 ``(m, r)`` / ``(n, r)`` stacked factors of every low-rank GEMM are served
 from a :class:`~repro.runtime.memory_pool.MemoryPool` instead of fresh
 ``hstack`` allocations — the Section VII-B memory designation applied to
-the kernel transients, not just the tile storage.
+the kernel transients, not just the tile storage.  The rounding itself
+calls LAPACK directly (``geqrf``/``orgqr``/``gesdd``) rather than the
+``scipy.linalg`` wrappers: at TLR stack sizes (b ≈ 100, r ≈ 2k) wrapper
+overhead is a measurable fraction of the call, and the direct path is
+dtype-generic — float32 stacks run the single-precision drivers, which
+is where the adaptive-precision compute path gets its speedup.
 
 Determinism: a :class:`RandomizedSVDBackend` seeded per tile (see
 :func:`tile_seed`) produces bit-identical factors for a given input, so
@@ -46,6 +57,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.linalg as sla
+from scipy.linalg import lapack as _lapack
 
 from .. import obs
 from ..utils.exceptions import CompressionError, ConfigurationError
@@ -61,12 +73,57 @@ __all__ = [
     "CompressionBackend",
     "SVDBackend",
     "RandomizedSVDBackend",
+    "AutoBackend",
     "RsvdConfig",
     "get_backend",
     "default_backend",
     "set_default_backend",
     "tile_seed",
 ]
+
+#: Direct LAPACK drivers keyed by dtype char: (geqrf, orgqr, gesdd).
+_LAPACK_BY_DTYPE = {
+    "d": (_lapack.dgeqrf, _lapack.dorgqr, _lapack.dgesdd),
+    "f": (_lapack.sgeqrf, _lapack.sorgqr, _lapack.sgesdd),
+}
+
+#: Optimal gesdd workspace sizes keyed by (dtype char, m, n).  gesdd's
+#: default (minimal) LWORK selects a different internal blocking than the
+#: optimal size scipy's wrapper queries — measurably slower and *bitwise
+#: different* around n≈35 — so the direct path caches and passes the
+#: optimal value.  GIL-atomic dict ops; a racing duplicate query is benign.
+_GESDD_LWORK_CACHE: dict[tuple[str, int, int], int] = {}
+
+#: Strictly-lower-triangle masks (and dtype-matched zeros) so the R
+#: extraction can skip ``np.tri`` mask construction on every call.
+#: ``np.where(mask, zero, a)`` is exactly ``np.triu``'s implementation.
+_TRIU_MASK_CACHE: dict[tuple[int, int], np.ndarray] = {}
+_ZERO_BY_CHAR = {"d": np.zeros(1, np.float64), "f": np.zeros(1, np.float32)}
+
+
+def _gesdd_lwork(char: str, m: int, n: int) -> int:
+    key = (char, m, n)
+    lwork = _GESDD_LWORK_CACHE.get(key)
+    if lwork is None:
+        from scipy.linalg.lapack import _compute_lwork, get_lapack_funcs
+
+        probe = np.empty((1, 1), dtype=np.dtype(char))
+        (lwork_fn,) = get_lapack_funcs(("gesdd_lwork",), (probe,))
+        lwork = _compute_lwork(
+            lwork_fn, m, n, compute_uv=True, full_matrices=False
+        )
+        _GESDD_LWORK_CACHE[key] = lwork
+    return lwork
+
+
+def _triu_of(a: np.ndarray) -> np.ndarray:
+    """``np.triu(a)`` with the boolean mask cached by shape."""
+    key = a.shape
+    mask = _TRIU_MASK_CACHE.get(key)
+    if mask is None:
+        mask = np.tri(key[0], key[1], -1, dtype=bool)
+        _TRIU_MASK_CACHE[key] = mask
+    return np.where(mask, _ZERO_BY_CHAR[a.dtype.char], a)
 
 
 def tile_seed(base: int, i: int, j: int) -> np.random.SeedSequence:
@@ -97,6 +154,30 @@ def _svd_compress(a: np.ndarray, rule: TruncationRule) -> LowRankTile:
     return LowRankTile(u[:, :k] * root, vt[:k].T * root)
 
 
+def _econ_qr(
+    a: np.ndarray, geqrf, orgqr, overwrite: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Economic QR ``a = Q R`` via direct LAPACK calls.
+
+    Handles the wide case (stacked rank exceeding the tile side): with
+    ``a`` of shape ``(m, r)`` and ``k = min(m, r)``, returns ``Q`` of
+    shape ``(m, k)`` and ``R`` of shape ``(k, r)``.
+    """
+    m, r = a.shape
+    k = min(m, r)
+    qr_, tau, _, info = geqrf(a, overwrite_a=overwrite)
+    if info != 0:  # pragma: no cover - geqrf only fails on bad arguments
+        raise CompressionError(f"geqrf failed during recompression (info={info})")
+    rmat = _triu_of(qr_[:k, :])
+    # R is extracted and ``qr_`` is ours (the caller's buffer under
+    # ``overwrite``, geqrf's fresh copy otherwise), so orgqr may expand Q
+    # over the factored columns in place.
+    q, _, info = orgqr(qr_[:, :k], tau, overwrite_a=True)
+    if info != 0:  # pragma: no cover
+        raise CompressionError(f"orgqr failed during recompression (info={info})")
+    return q, rmat
+
+
 def _qr_svd_recompress(
     u_stack: np.ndarray,
     v_stack: np.ndarray,
@@ -105,11 +186,66 @@ def _qr_svd_recompress(
     *,
     overwrite: bool = False,
 ) -> RecompressionResult:
-    """QR-QR-SVD rounding of ``u_stack @ v_stack.T`` (both backends).
+    """QR-QR-SVD rounding of ``u_stack @ v_stack.T`` (all backends).
 
-    With ``overwrite`` the QR factorizations are allowed to destroy the
-    stacked factors — safe when they live in a pooled workspace buffer
-    that is released right after.
+    Dtype-generic: float64 stacks run the ``d``-prefixed LAPACK drivers
+    (bitwise identical to the historical ``scipy.linalg`` wrapper path),
+    float32 stacks the ``s``-prefixed ones, and the rounded tile keeps
+    the stack's storage dtype.  With ``overwrite`` the QR factorizations
+    are allowed to destroy the stacked factors — safe when they live in a
+    pooled workspace buffer that is released right after.
+    """
+    r = u_stack.shape[1]
+    m, n = u_stack.shape[0], v_stack.shape[0]
+    dtype = u_stack.dtype
+    if r == 0:
+        tile = LowRankTile.zero(m, n, dtype=dtype)
+        return RecompressionResult(tile, 0, 0, grew=False)
+    try:
+        geqrf, orgqr, gesdd = _LAPACK_BY_DTYPE[dtype.char]
+    except KeyError:  # pragma: no cover - stacks are always f32/f64
+        raise CompressionError(
+            f"unsupported recompression dtype {dtype}"
+        ) from None
+    qu, ru = _econ_qr(u_stack, geqrf, orgqr, overwrite)
+    qv, rv = _econ_qr(v_stack, geqrf, orgqr, overwrite)
+    core = ru @ rv.T
+    # Optimal LWORK (cached): the minimal default is slower *and* selects
+    # a different blocking — scipy's wrapper passes the optimal size, and
+    # bitwise parity with the reference rounding depends on matching it.
+    lwork = _gesdd_lwork(dtype.char, core.shape[0], core.shape[1])
+    uc, s, vct, info = gesdd(
+        core, compute_uv=True, full_matrices=False, lwork=lwork, overwrite_a=True
+    )
+    if info != 0:  # pragma: no cover - gesdd rarely fails
+        raise CompressionError(f"SVD failed during recompression (info={info})")
+    k = truncation_rank(s, rule)
+    if k == 0:
+        tile = LowRankTile.zero(m, n, dtype=dtype)
+    else:
+        root = np.sqrt(s[:k])
+        tile = LowRankTile((qu @ uc[:, :k]) * root, (qv @ vct[:k].T) * root)
+    prev = r if previous_rank is None else previous_rank
+    return RecompressionResult(tile, rank_before=r, rank_after=k, grew=k > prev)
+
+
+def _qr_svd_recompress_reference(
+    u_stack: np.ndarray,
+    v_stack: np.ndarray,
+    rule: TruncationRule,
+    previous_rank: int | None,
+    *,
+    overwrite: bool = False,
+) -> RecompressionResult:
+    """The pre-batching ``scipy.linalg`` wrapper rounding, kept for A/B.
+
+    Numerically this reduces to the same LAPACK drivers as
+    :func:`_qr_svd_recompress` (bitwise-identical float64 results — a
+    test asserts it); the direct-call version replaced it because the
+    wrapper overhead (validation, workspace queries, copies) dominates
+    at small tile sizes.  The ablation bench times this path as its
+    baseline arm, and :attr:`CompressionBackend.reference_recompress`
+    routes a backend through it.
     """
     r = u_stack.shape[1]
     m, n = u_stack.shape[0], v_stack.shape[0]
@@ -153,9 +289,9 @@ class _StackWorkspace:
         self.pool = MemoryPool()
         self._lock = threading.Lock()
 
-    def allocate(self, shape: tuple[int, ...]) -> np.ndarray:
+    def allocate(self, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
         with self._lock:
-            return self.pool.allocate(shape)
+            return self.pool.allocate(shape, dtype=dtype)
 
     def release(self, buf: np.ndarray) -> None:
         with self._lock:
@@ -176,6 +312,11 @@ class CompressionBackend:
     name: str = "base"
     #: Base entropy for per-tile seeding (ignored by deterministic backends).
     seed: int = 0
+    #: Route recompressions through the scipy-wrapper reference rounding
+    #: (:func:`_qr_svd_recompress_reference`) instead of the direct
+    #: LAPACK calls — same float64 numerics, pre-batching dispatch cost.
+    #: For A/B benchmarks and cross-validation tests only.
+    reference_recompress: bool = False
 
     def __init__(self) -> None:
         self._workspace: _StackWorkspace | None = None
@@ -208,8 +349,13 @@ class CompressionBackend:
                 f"stacked factor rank mismatch: U has {u_stack.shape[1]}, "
                 f"V has {v_stack.shape[1]}"
             )
+        rounding = (
+            _qr_svd_recompress_reference
+            if self.reference_recompress
+            else _qr_svd_recompress
+        )
         with obs.span("recompress", "recompress", backend=self.name):
-            result = _qr_svd_recompress(u_stack, v_stack, rule, previous_rank)
+            result = rounding(u_stack, v_stack, rule, previous_rank)
         obs.histogram_observe(
             "tile_rank", result.rank_after, stage="recompress_post"
         )
@@ -229,27 +375,47 @@ class CompressionBackend:
         stage 2 rounds them in place and releases the buffers.  This is
         the hot path of the TLR GEMM — the workspace turns its two large
         transient allocations per call into pool reuses.
+
+        The rounding runs in the *destination tile's* storage dtype: an
+        fp32 tile is updated and re-rounded entirely in single precision
+        (the update factors are cast on pack), an fp64 tile entirely in
+        double.  The certified ε of an fp32 tile sits above fp32 roundoff
+        by policy (:mod:`repro.linalg.precision`), so the lower-precision
+        rounding stays within the tile's error budget.
         """
         kc, ku = c.rank, u_upd.shape[1]
         r = kc + ku
         m, n = c.shape
+        dtype = c.dtype
         if r == 0:
-            return RecompressionResult(LowRankTile.zero(m, n), 0, 0, grew=False)
+            return RecompressionResult(
+                LowRankTile.zero(m, n, dtype=dtype), 0, 0, grew=False
+            )
         if self._workspace is None:
             self._workspace = _StackWorkspace()
         ws = self._workspace
-        us = ws.allocate((m, r))
-        vs = ws.allocate((n, r))
+        # Allocated transposed and viewed through ``.T`` so the stacks are
+        # F-contiguous: the in-place geqrf/orgqr calls then factor the
+        # workspace directly instead of f2py copying a C-order stack.
+        us_buf = ws.allocate((r, m), dtype=dtype)
+        vs_buf = ws.allocate((r, n), dtype=dtype)
+        us = us_buf.T
+        vs = vs_buf.T
         try:
             us[:, :kc] = c.u
             us[:, kc:] = u_upd
             vs[:, :kc] = c.v
             np.multiply(v_upd, -1.0, out=vs[:, kc:])
+            rounding = (
+                _qr_svd_recompress_reference
+                if self.reference_recompress
+                else _qr_svd_recompress
+            )
             with obs.span("recompress", "recompress", backend=self.name):
-                result = _qr_svd_recompress(us, vs, rule, c.rank, overwrite=True)
+                result = rounding(us, vs, rule, c.rank, overwrite=True)
         finally:
-            ws.release(us)
-            ws.release(vs)
+            ws.release(us_buf)
+            ws.release(vs_buf)
         if obs.enabled():
             obs.histogram_observe("tile_rank", kc, stage="recompress_pre")
             obs.histogram_observe(
@@ -478,12 +644,64 @@ class RandomizedSVDBackend(CompressionBackend):
         return est
 
 
+class AutoBackend(CompressionBackend):
+    """Per-tile svd/rsvd dispatch around the measured crossover.
+
+    BENCH_compression.json (PR 5) measured the randomized path *losing*
+    to the exact SVD below b ≈ 200 (speedup 0.66–0.86x) and winning ≥2x
+    above it at ε = 1e-4: below the crossover the blocked range finder's
+    extra passes and Python dispatch cost more than the ``gesdd`` they
+    save.  ``auto`` applies that measurement per tile: blocks whose
+    ``min(m, n)`` is under :attr:`crossover` take the exact SVD, larger
+    blocks the adaptive randomized path.  Very tight tolerances
+    (ε ≤ :attr:`exact_eps`) also pin the exact path — ranks approach the
+    tile size there and ARA would fall back anyway, after paying for the
+    sampling.
+
+    Recompression is the shared QR-QR-SVD rounding (rank-deterministic,
+    backend-independent), so ``auto`` only changes initial compression.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        crossover: int = 200,
+        seed: int = 2021,
+        config: RsvdConfig | None = None,
+        exact_eps: float = 1e-10,
+    ) -> None:
+        super().__init__()
+        if crossover < 1:
+            raise ConfigurationError(f"crossover must be >= 1, got {crossover}")
+        self.crossover = crossover
+        self.exact_eps = exact_eps
+        self.seed = seed
+        self._svd = SVDBackend()
+        self._rsvd = RandomizedSVDBackend(seed=seed, config=config)
+
+    def select(self, shape: tuple[int, int], rule: TruncationRule) -> str:
+        """Name of the backend a block of ``shape`` would be routed to."""
+        if min(shape) >= self.crossover and rule.eps > self.exact_eps:
+            return self._rsvd.name
+        return self._svd.name
+
+    def compress(
+        self, a: np.ndarray, rule: TruncationRule, *, seed=None
+    ) -> LowRankTile:
+        a = check_matrix("a", a)
+        if self.select(a.shape, rule) == self._rsvd.name:
+            return self._rsvd.compress(a, rule, seed=seed)
+        return self._svd.compress(a, rule, seed=seed)
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 _BACKENDS: dict[str, type[CompressionBackend]] = {
     SVDBackend.name: SVDBackend,
     RandomizedSVDBackend.name: RandomizedSVDBackend,
+    AutoBackend.name: AutoBackend,
 }
 _instances: dict[str, CompressionBackend] = {}
 _default: list[str] = ["svd"]

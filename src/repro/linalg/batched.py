@@ -1,0 +1,451 @@
+"""Batched same-shape kernel execution (H2OPUS-TLR style marshaling).
+
+H2OPUS-TLR (PAPERS.md, 2108.11932) gets its throughput by *marshaling*
+same-shape low-rank operations into batched kernel calls instead of
+dispatching them one tile at a time.  BENCH_compression.json showed the
+same effect at CI sizes from the other side: below the b ≈ 200 crossover
+per-tile Python/BLAS dispatch overhead — not asymptotics — dominates the
+runtime.  This module is the marshaling layer for the Table-I kernels:
+
+* :class:`BatchItem` wraps one ready task (an opaque ``ref`` plus its
+  operand tiles) in executor-agnostic form;
+* :class:`BatchPlanner` partitions a drained ready set into shape-keyed
+  buckets — same kernel class, same operand shapes/ranks/dtypes — and
+  singleton groups for everything unbatchable;
+* :func:`run_batch` executes one group: singletons run the ordinary
+  :mod:`~repro.linalg.hcore` kernel, larger groups run a *stacked*
+  formulation — one multi-RHS triangular solve for a panel's TRSMs, one
+  3-D ``np.matmul`` per product stage for GEMM/SYRK variants.
+
+Bitwise identity is the hard invariant.  Every stacked formulation
+performs the *same* BLAS/LAPACK calls on the same per-tile data (``trtrs``
+solves columns independently, batched ``matmul`` runs one ``gemm`` per
+slice), so batched results are bit-for-bit equal to unbatched execution —
+the property suite in ``tests/test_batched.py`` enforces this across
+kernel mixes, dtypes, and worker counts.
+
+What batches and what does not:
+
+===============  =====================================================
+kernel           batch key (beyond the kernel class)
+===============  =====================================================
+POTRF            never batched (one per panel, on the critical path)
+TRSM (dense C)   the shared ``L`` tile — one multi-RHS ``trtrs``
+TRSM (lr C)      the shared ``L`` tile + V dtype (ragged ranks fine)
+SYRK (dense A)   A shape
+SYRK (lr A)      A shape + rank + dtype
+GEMM (all-dense) A/B shapes
+GEMM (lr,lr→d)   A/B shapes + ranks + dtypes
+GEMM (lr,d→d)    shapes + lr side + rank + dtype
+GEMM (→ lr C)    never batched — recompression is inherently per-tile
+                 (each destination rounds at its own stacked rank), and
+                 it is already served by the pooled direct-LAPACK path
+===============  =====================================================
+
+Flop accounting: a batched group reports the summed Table-I flops of its
+``k`` members with ``count=k`` (:meth:`FlopCounter.add
+<repro.linalg.flops.FlopCounter.add>`), so per-kernel-class totals and
+invocation counts are identical across batch modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..utils.exceptions import KernelError
+from . import hcore
+from .compression import RecompressionResult, TruncationRule
+from .flops import (
+    FlopCounter,
+    KernelClass,
+    flops_gemm_dense,
+    flops_gemm_dense_lrd,
+    flops_gemm_dense_lrlr,
+    flops_syrk_dense,
+    flops_syrk_lr,
+    flops_trsm_dense,
+    flops_trsm_lr,
+)
+from .hcore import _count
+from .tiles import DenseTile, LowRankTile, Tile
+
+__all__ = ["BatchItem", "BatchResult", "BatchPlanner", "run_batch"]
+
+
+@dataclass
+class BatchItem:
+    """One ready task in executor-agnostic form.
+
+    ``ref`` is opaque to this module (the executors pass task ids);
+    ``op`` is ``"potrf" | "trsm" | "syrk" | "gemm"``; ``tiles`` are the
+    operand tiles in kernel order with the destination last —
+    ``(c,)``, ``(l, c)``, ``(a, c)``, ``(a, b, c)`` respectively.
+    ``index`` carries the destination tile coordinates for diagnostics.
+    """
+
+    ref: object
+    op: str
+    tiles: tuple
+    index: tuple | None = None
+
+
+@dataclass
+class BatchResult:
+    """Outcome for one item: the produced tile (``None`` for in-place
+    POTRF/SYRK, matching the executors' compute/commit contract) and the
+    recompression result for low-rank GEMM destinations."""
+
+    ref: object
+    out: Tile | None
+    recomp: RecompressionResult | None
+
+
+class BatchPlanner:
+    """Partitions a drained ready set into same-shape kernel buckets.
+
+    Parameters
+    ----------
+    min_batch:
+        Buckets smaller than this dissolve into singletons (a stacked
+        call for one tile only adds copies).
+    max_batch:
+        Buckets larger than this split into chunks, bounding both the
+        stack workspace and — in the parallel executor — how much work a
+        single worker claims at once.
+    max_copy_bytes:
+        Per-item ceiling on the bytes the stacked formulation has to
+        *copy into the stack*.  CPU batching trades an input memcpy for
+        saved per-call dispatch; for low-rank factors (tens of KB) the
+        dispatch saving wins, but stacking full dense tiles copies more
+        than the calls cost.  Items whose stack-copy footprint exceeds
+        this run solo — which is why dense-operand classes stop batching
+        as the tile size grows while the rank-bearing classes keep going.
+    """
+
+    def __init__(
+        self,
+        min_batch: int = 2,
+        max_batch: int = 32,
+        max_copy_bytes: int = 65536,
+    ) -> None:
+        if min_batch < 2 or max_batch < min_batch:
+            raise KernelError(
+                f"need 2 <= min_batch <= max_batch, got "
+                f"{min_batch}/{max_batch}"
+            )
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.max_copy_bytes = max_copy_bytes
+
+    def key(self, item: BatchItem) -> tuple | None:
+        """Bucket key for an item, or ``None`` when it must run solo.
+
+        Keys encode everything the stacked formulations require to be
+        uniform: kernel class, operand shapes, low-rank ranks, storage
+        dtypes — and for TRSM the identity of the shared ``L`` tile
+        (tasks of one panel all solve against the same factor).
+        """
+        op, tiles = item.op, item.tiles
+        cap = self.max_copy_bytes
+        if op == "potrf":
+            return None
+        if op == "trsm":
+            l_tile, c = tiles
+            if isinstance(c, DenseTile):
+                if c.data.nbytes > cap:  # stacked multi-RHS copies C
+                    return None
+                return ("trsm_d", id(l_tile))
+            if c.v.nbytes > cap:  # stacked solve copies the V factors
+                return None
+            return ("trsm_lr", id(l_tile), c.dtype.char)
+        if op == "syrk":
+            a, _c = tiles
+            if isinstance(a, DenseTile):
+                if a.data.nbytes > cap:
+                    return None
+                return ("syrk_d", a.shape)
+            if a.u.nbytes + a.v.nbytes > cap:
+                return None
+            return ("syrk_lr", a.shape, a.rank, a.dtype.char)
+        if op == "gemm":
+            a, b, c = tiles
+            if isinstance(c, LowRankTile):
+                return None  # per-tile recompression
+            a_lr, b_lr = isinstance(a, LowRankTile), isinstance(b, LowRankTile)
+            if not a_lr and not b_lr:
+                if a.data.nbytes + b.data.nbytes > cap:
+                    return None
+                return ("gemm_ddd", a.shape, b.shape)
+            if a_lr and b_lr:
+                if (
+                    a.u.nbytes + a.v.nbytes + b.u.nbytes + b.v.nbytes
+                ) > cap:
+                    return None
+                return (
+                    "gemm_dll", a.shape, b.shape, a.rank, b.rank,
+                    a.dtype.char, b.dtype.char,
+                )
+            lr, dn = (a, b) if a_lr else (b, a)
+            if dn.data.nbytes + lr.u.nbytes + lr.v.nbytes > cap:
+                return None
+            return (
+                "gemm_dld", a.shape, b.shape, a_lr, lr.rank, lr.dtype.char
+            )
+        raise KernelError(f"unknown batch op {op!r}")
+
+    def partition(self, items: list[BatchItem]) -> list[list[BatchItem]]:
+        """Group items into executable batches, preserving first-seen
+        order between groups and input order within each group."""
+        groups: list[list[BatchItem]] = []
+        buckets: dict[tuple, list[BatchItem]] = {}
+        order: list[tuple | None] = []  # None marks a singleton placeholder
+        singles: list[BatchItem] = []
+        for item in items:
+            k = self.key(item)
+            if k is None:
+                order.append(None)
+                singles.append(item)
+            else:
+                if k not in buckets:
+                    buckets[k] = []
+                    order.append(k)
+                buckets[k].append(item)
+        singles_it = iter(singles)
+        for k in order:
+            if k is None:
+                groups.append([next(singles_it)])
+                continue
+            bucket = buckets[k]
+            if len(bucket) < self.min_batch:
+                groups.extend([it] for it in bucket)
+                continue
+            for off in range(0, len(bucket), self.max_batch):
+                chunk = bucket[off : off + self.max_batch]
+                if len(chunk) >= self.min_batch:
+                    groups.append(chunk)
+                else:
+                    groups.extend([it] for it in chunk)
+        return groups
+
+
+# ----------------------------------------------------------------------
+# Stacked kernel bodies
+# ----------------------------------------------------------------------
+def _batch_trsm_dense(items, counter) -> None:
+    """One multi-RHS ``trtrs`` for a panel's dense TRSMs.
+
+    ``L X_i^T = C_i^T`` for every ``i`` becomes one solve against the
+    horizontally concatenated right-hand sides — ``trtrs`` treats
+    columns independently, so each tile's solution is bitwise the one a
+    separate call produces.
+    """
+    l_data = items[0].tiles[0].data
+    cs = [item.tiles[1] for item in items]
+    rhs = np.hstack([c.data.T for c in cs])
+    x = sla.solve_triangular(l_data, rhs, lower=True, trans="N", check_finite=False)
+    off = 0
+    total = 0.0
+    for c in cs:
+        bm = c.shape[0]
+        c.data[...] = x[:, off : off + bm].T
+        off += bm
+        total += flops_trsm_dense(bm)
+    _count(counter, KernelClass.TRSM_DENSE, total, count=len(cs))
+
+
+def _batch_trsm_lr(items, counter) -> list[LowRankTile]:
+    """One multi-RHS ``trtrs`` over the concatenated V factors.
+
+    Ragged ranks concatenate fine (each tile contributes ``rank``
+    columns); the solve promotes fp32 stacks against the fp64 band tile
+    and the split slices are cast back per tile, exactly as the solo
+    kernel does.
+    """
+    l_data = items[0].tiles[0].data
+    cs = [item.tiles[1] for item in items]
+    vs = np.hstack([c.v for c in cs])
+    outs: list[LowRankTile] = []
+    total = 0.0
+    if vs.shape[1]:
+        x = sla.solve_triangular(
+            l_data, vs, lower=True, trans="N", check_finite=False
+        )
+    else:
+        x = vs
+    off = 0
+    for c in cs:
+        k = c.rank
+        if k:
+            v = x[:, off : off + k]
+            if v.dtype != c.dtype:
+                v = v.astype(c.dtype)
+            outs.append(LowRankTile(c.u, np.ascontiguousarray(v)))
+            off += k
+        else:
+            outs.append(c)
+        total += flops_trsm_lr(c.shape[0], k)
+    _count(counter, KernelClass.TRSM_LR, total, count=len(cs))
+    return outs
+
+
+def _batch_syrk_dense(items, counter) -> None:
+    """Stacked ``C_i -= A_i A_i^T`` via one 3-D matmul."""
+    a_stack = np.stack([item.tiles[0].data for item in items])
+    upd = np.matmul(a_stack, a_stack.transpose(0, 2, 1))
+    total = 0.0
+    for i, item in enumerate(items):
+        c = item.tiles[1]
+        c.data -= upd[i]
+        total += flops_syrk_dense(c.shape[0])
+    _count(counter, KernelClass.SYRK_DENSE, total, count=len(items))
+
+
+def _batch_syrk_lr(items, counter) -> None:
+    """Stacked ``C_i -= U_i (V_i^T V_i) U_i^T`` (equal ranks by key)."""
+    rank = items[0].tiles[0].rank
+    total = sum(
+        flops_syrk_lr(item.tiles[1].shape[0], rank) for item in items
+    )
+    if rank > 0:
+        us = np.stack([item.tiles[0].u for item in items])
+        vs = np.stack([item.tiles[0].v for item in items])
+        w = np.matmul(vs.transpose(0, 2, 1), vs)
+        x = np.matmul(us, w)
+        upd = np.matmul(x, us.transpose(0, 2, 1))
+        for i, item in enumerate(items):
+            item.tiles[1].data -= upd[i]
+    _count(counter, KernelClass.SYRK_LR, total, count=len(items))
+
+
+def _batch_gemm_dense(items, counter) -> None:
+    """Stacked all-dense ``C_i -= A_i B_i^T``."""
+    a_stack = np.stack([item.tiles[0].data for item in items])
+    b_stack = np.stack([item.tiles[1].data for item in items])
+    upd = np.matmul(a_stack, b_stack.transpose(0, 2, 1))
+    total = 0.0
+    for i, item in enumerate(items):
+        c = item.tiles[2]
+        c.data -= upd[i]
+        total += flops_gemm_dense(c.shape[0])
+    _count(counter, KernelClass.GEMM_DENSE, total, count=len(items))
+
+
+def _batch_gemm_dense_lrlr(items, counter) -> None:
+    """Stacked ``C_i -= U_{A,i} (V_{A,i}^T V_{B,i}) U_{B,i}^T``."""
+    a0, b0, _ = items[0].tiles
+    total = sum(
+        flops_gemm_dense_lrlr(item.tiles[2].shape[0], a0.rank, b0.rank)
+        for item in items
+    )
+    if a0.rank > 0 and b0.rank > 0:
+        av = np.stack([item.tiles[0].v for item in items])
+        bv = np.stack([item.tiles[1].v for item in items])
+        au = np.stack([item.tiles[0].u for item in items])
+        bu = np.stack([item.tiles[1].u for item in items])
+        w = np.matmul(av.transpose(0, 2, 1), bv)
+        x = np.matmul(au, w)
+        upd = np.matmul(x, bu.transpose(0, 2, 1))
+        for i, item in enumerate(items):
+            item.tiles[2].data -= upd[i]
+    _count(counter, KernelClass.GEMM_DENSE_LRLR, total, count=len(items))
+
+
+def _batch_gemm_dense_lrd(items, a_is_lr, counter) -> None:
+    """Stacked (2)-GEMM: dense C, exactly one low-rank operand."""
+    lr0 = items[0].tiles[0] if a_is_lr else items[0].tiles[1]
+    rank = lr0.rank
+    total = sum(
+        flops_gemm_dense_lrd(item.tiles[2].shape[0], rank) for item in items
+    )
+    if rank > 0:
+        if a_is_lr:
+            # C_i -= U_{A,i} (B_i V_{A,i})^T
+            bs = np.stack([item.tiles[1].data for item in items])
+            av = np.stack([item.tiles[0].v for item in items])
+            au = np.stack([item.tiles[0].u for item in items])
+            w = np.matmul(bs, av)
+            upd = np.matmul(au, w.transpose(0, 2, 1))
+        else:
+            # C_i -= (A_i V_{B,i}) U_{B,i}^T
+            as_ = np.stack([item.tiles[0].data for item in items])
+            bv = np.stack([item.tiles[1].v for item in items])
+            bu = np.stack([item.tiles[1].u for item in items])
+            w = np.matmul(as_, bv)
+            upd = np.matmul(w, bu.transpose(0, 2, 1))
+        for i, item in enumerate(items):
+            item.tiles[2].data -= upd[i]
+    _count(counter, KernelClass.GEMM_DENSE_LRD, total, count=len(items))
+
+
+def _run_single(
+    item: BatchItem,
+    rule: TruncationRule,
+    counter: FlopCounter | None,
+    backend,
+) -> BatchResult:
+    """Run one item through the ordinary hcore kernels."""
+    op, tiles = item.op, item.tiles
+    if op == "potrf":
+        hcore.potrf_dense(tiles[0], counter=counter, tile_index=item.index)
+        return BatchResult(item.ref, None, None)
+    if op == "trsm":
+        out = hcore.trsm_auto(tiles[0], tiles[1], counter=counter)
+        return BatchResult(item.ref, out, None)
+    if op == "syrk":
+        hcore.syrk_auto(tiles[0], tiles[1], counter=counter)
+        return BatchResult(item.ref, None, None)
+    out, _, recomp = hcore.gemm_auto(
+        tiles[0], tiles[1], tiles[2], rule, counter=counter, backend=backend
+    )
+    return BatchResult(item.ref, out, recomp)
+
+
+def run_batch(
+    group: list[BatchItem],
+    rule: TruncationRule,
+    *,
+    counter: FlopCounter | None = None,
+    backend=None,
+) -> list[BatchResult]:
+    """Execute one planner group; results align with the input order.
+
+    Singleton groups take the ordinary per-tile kernel path; larger
+    groups (homogeneous by construction — see :meth:`BatchPlanner.key`)
+    run the stacked formulation for their kernel class.
+    """
+    if len(group) == 1:
+        return [_run_single(group[0], rule, counter, backend)]
+    op = group[0].op
+    if op == "trsm":
+        if isinstance(group[0].tiles[1], DenseTile):
+            _batch_trsm_dense(group, counter)
+            return [
+                BatchResult(item.ref, item.tiles[1], None) for item in group
+            ]
+        outs = _batch_trsm_lr(group, counter)
+        return [
+            BatchResult(item.ref, out, None)
+            for item, out in zip(group, outs)
+        ]
+    if op == "syrk":
+        if isinstance(group[0].tiles[0], DenseTile):
+            _batch_syrk_dense(group, counter)
+        else:
+            _batch_syrk_lr(group, counter)
+        return [BatchResult(item.ref, None, None) for item in group]
+    if op == "gemm":
+        a, b, _c = group[0].tiles
+        a_lr, b_lr = isinstance(a, LowRankTile), isinstance(b, LowRankTile)
+        if not a_lr and not b_lr:
+            _batch_gemm_dense(group, counter)
+        elif a_lr and b_lr:
+            _batch_gemm_dense_lrlr(group, counter)
+        else:
+            _batch_gemm_dense_lrd(group, a_lr, counter)
+        return [
+            BatchResult(item.ref, item.tiles[2], None) for item in group
+        ]
+    raise KernelError(f"op {op!r} cannot run as a batch")

@@ -17,6 +17,13 @@ recompression boundary (Section VII-B).
 
 Every kernel can record its Table I modelled cost into a
 :class:`~repro.linalg.flops.FlopCounter`.
+
+Mixed precision: low-rank operands may be stored in float32 (see
+:mod:`repro.linalg.precision`).  Kernels preserve each *destination*
+tile's storage dtype — an fp32 low-rank tile stays fp32 through TRSM and
+recompression (run by the single-precision LAPACK drivers), while dense
+destinations are always float64, so accumulations against fp32 operands
+promote naturally: fp32 storage, fp64 accumulate.
 """
 
 from __future__ import annotations
@@ -61,12 +68,17 @@ __all__ = [
 ]
 
 
-def _count(counter: FlopCounter | None, kind: KernelClass, flops: float) -> None:
+def _count(
+    counter: FlopCounter | None,
+    kind: KernelClass,
+    flops: float,
+    count: int = 1,
+) -> None:
     if counter is not None:
-        counter.add(kind, flops)
+        counter.add(kind, flops, count)
     # Feeds the per-region invocation/flop counters of repro.obs; a no-op
     # (one None check) unless an observation is active.
-    kernel_observed(kind.value, flops)
+    kernel_observed(kind.value, flops, count)
 
 
 # ----------------------------------------------------------------------
@@ -135,6 +147,10 @@ def trsm_lr(
         v = sla.solve_triangular(
             l_tile.data, c.v, lower=True, trans="N", check_finite=False
         )
+        # The solve promotes fp32 V against the fp64 band tile; cast back
+        # so the tile keeps its policy-assigned storage dtype.
+        if v.dtype != c.dtype:
+            v = v.astype(c.dtype)
         c = LowRankTile(c.u, v)
     _count(counter, KernelClass.TRSM_LR, flops_trsm_lr(c.shape[0], c.rank))
     return c

@@ -12,6 +12,11 @@ distinction between
 
 Both accounting schemes are exposed here (:meth:`LowRankTile.memory_elements`)
 so the memory benchmarks (Fig. 8) can compare them on identical rank data.
+
+Low-rank factors may be stored in float32 when a precision policy
+(:mod:`repro.linalg.precision`) certifies the tile's ε-budget exceeds
+single-precision roundoff; dense tiles — the band and the Cholesky
+factors themselves — always stay float64.
 """
 
 from __future__ import annotations
@@ -71,6 +76,10 @@ class DenseTile:
         """Number of float64 elements stored (``m * n``)."""
         return self.data.size
 
+    def memory_bytes(self) -> int:
+        """Exact bytes stored (dense tiles are always float64)."""
+        return self.data.nbytes
+
     def copy(self) -> "DenseTile":
         return DenseTile(self.data.copy())
 
@@ -95,8 +104,17 @@ class LowRankTile:
     v: np.ndarray
 
     def __post_init__(self) -> None:
-        self.u = np.ascontiguousarray(self.u, dtype=np.float64)
-        self.v = np.ascontiguousarray(self.v, dtype=np.float64)
+        # float32 storage is allowed (mixed-precision policies); any other
+        # dtype — ints, float16 payloads, object arrays — is coerced to the
+        # float64 default.  Mixed-precision factors are upcast to a common
+        # dtype so ``u`` and ``v`` always agree.
+        u, v = np.asarray(self.u), np.asarray(self.v)
+        if u.dtype == np.float32 and v.dtype == np.float32:
+            dtype = np.float32
+        else:
+            dtype = np.float64
+        self.u = np.ascontiguousarray(u, dtype=dtype)
+        self.v = np.ascontiguousarray(v, dtype=dtype)
         if self.u.ndim != 2 or self.v.ndim != 2:
             raise KernelError(
                 f"low-rank factors must be 2-D, got U{self.u.shape} V{self.v.shape}"
@@ -119,14 +137,27 @@ class LowRankTile:
         """Current numerical storage rank ``k``."""
         return self.u.shape[1]
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the factors (float64 or float32)."""
+        return self.u.dtype
+
+    def astype(self, dtype) -> "LowRankTile":
+        """Return a copy of this tile with factors cast to ``dtype``."""
+        dtype = np.dtype(dtype)
+        if dtype == self.u.dtype:
+            return self.copy()
+        return LowRankTile(self.u.astype(dtype), self.v.astype(dtype))
+
     def to_dense(self) -> np.ndarray:
-        """Expand to a dense ndarray ``U @ V.T``."""
+        """Expand to a dense ndarray ``U @ V.T`` (always float64)."""
         if self.rank == 0:
             return np.zeros(self.shape)
-        return self.u @ self.v.T
+        out = self.u @ self.v.T
+        return out.astype(np.float64) if out.dtype != np.float64 else out
 
     def memory_elements(self, maxrank: int | None = None) -> int:
-        """Float64 elements stored.
+        """Elements stored (dtype-agnostic count).
 
         With ``maxrank`` given, reports the *static descriptor* footprint
         ``(m + n) * maxrank`` of PaRSEC-HiCMA-Prev; otherwise the exact
@@ -136,13 +167,18 @@ class LowRankTile:
         k = self.rank if maxrank is None else maxrank
         return (m + n) * k
 
+    def memory_bytes(self) -> int:
+        """Exact bytes stored, honouring the storage dtype."""
+        return self.u.nbytes + self.v.nbytes
+
     def copy(self) -> "LowRankTile":
         return LowRankTile(self.u.copy(), self.v.copy())
 
     @classmethod
-    def zero(cls, m: int, n: int) -> "LowRankTile":
+    def zero(cls, m: int, n: int, dtype=np.float64) -> "LowRankTile":
         """An exactly-zero tile of rank 0."""
-        return cls(np.zeros((m, 0)), np.zeros((n, 0)))
+        dtype = np.dtype(dtype)
+        return cls(np.zeros((m, 0), dtype=dtype), np.zeros((n, 0), dtype=dtype))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LowRankTile(shape={self.shape}, rank={self.rank})"

@@ -27,6 +27,7 @@ import numpy as np
 from .. import obs
 from ..linalg.backends import CompressionBackend, get_backend, tile_seed
 from ..linalg.compression import TruncationRule
+from ..linalg.precision import PrecisionPolicy, resolve_precision
 from ..linalg.tiles import DenseTile, LowRankTile, Tile
 from ..statistics.problem import CovarianceProblem
 from ..utils.exceptions import ConfigurationError
@@ -54,6 +55,11 @@ class BandTLRMatrix:
         Compression backend used for off-band tiles (and remembered so
         :meth:`with_band_size` and factorizations recompress with the
         same numerics); ``None`` means the process default (exact SVD).
+    precision:
+        Storage-dtype policy for off-band low-rank tiles (see
+        :class:`~repro.linalg.precision.PrecisionPolicy`); ``None``
+        keeps the historical all-float64 behaviour.  A mode name
+        (``"adaptive"``, ``"fp32"``) is resolved on construction.
     """
 
     desc: TileDescriptor
@@ -61,11 +67,14 @@ class BandTLRMatrix:
     rule: TruncationRule
     tiles: dict[tuple[int, int], Tile] = field(default_factory=dict)
     backend: CompressionBackend | None = None
+    precision: PrecisionPolicy | None = None
 
     def __post_init__(self) -> None:
         check_positive_int("band_size", self.band_size)
         if self.backend is not None:
             self.backend = get_backend(self.backend)
+        if self.precision is not None:
+            self.precision = resolve_precision(self.precision)
 
     def _compress(self, block: np.ndarray, i: int, j: int) -> LowRankTile:
         """Compress one off-band block with the matrix's backend.
@@ -75,9 +84,16 @@ class BandTLRMatrix:
         across worker counts.
         """
         backend = get_backend(self.backend)
-        return backend.compress(
+        tile = backend.compress(
             block, self.rule, seed=tile_seed(backend.seed, i, j)
         )
+        if self.precision is not None:
+            target = self.precision.storage_dtype(
+                eps=self.rule.eps, distance=i - j, band_size=self.band_size
+            )
+            if tile.dtype != target:
+                tile = tile.astype(target)
+        return tile
 
     # ------------------------------------------------------------------
     # Constructors
@@ -90,6 +106,7 @@ class BandTLRMatrix:
         band_size: int = 1,
         *,
         backend: CompressionBackend | str | None = None,
+        precision: PrecisionPolicy | str | None = None,
         n_workers: int | None = None,
     ) -> "BandTLRMatrix":
         """Generate + compress a covariance problem into tile storage.
@@ -102,7 +119,8 @@ class BandTLRMatrix:
         make the result bitwise identical for every worker count.
         """
         desc = TileDescriptor(problem.n, problem.tile_size)
-        mat = cls(desc=desc, band_size=band_size, rule=rule, backend=backend)
+        mat = cls(desc=desc, band_size=band_size, rule=rule, backend=backend,
+                  precision=precision)
 
         def build(ij: tuple[int, int]) -> Tile:
             i, j = ij
@@ -123,6 +141,7 @@ class BandTLRMatrix:
         band_size: int = 1,
         *,
         backend: CompressionBackend | str | None = None,
+        precision: PrecisionPolicy | str | None = None,
         n_workers: int | None = None,
     ) -> "BandTLRMatrix":
         """Tile + compress an explicit dense symmetric matrix (tests, demos)."""
@@ -130,7 +149,8 @@ class BandTLRMatrix:
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ConfigurationError(f"matrix must be square, got {a.shape}")
         desc = TileDescriptor(a.shape[0], tile_size)
-        mat = cls(desc=desc, band_size=band_size, rule=rule, backend=backend)
+        mat = cls(desc=desc, band_size=band_size, rule=rule, backend=backend,
+                  precision=precision)
 
         def build(ij: tuple[int, int]) -> Tile:
             i, j = ij
@@ -281,6 +301,7 @@ class BandTLRMatrix:
             band_size=band_size,
             rule=self.rule,
             backend=self.backend,
+            precision=self.precision,
         )
         for (i, j), tile in self.tiles.items():
             now_banded = self.desc.on_band(i, j, band_size)
@@ -318,6 +339,7 @@ class BandTLRMatrix:
             band_size=self.band_size,
             rule=self.rule,
             backend=self.backend,
+            precision=self.precision,
         )
         out.tiles = {ij: t.copy() for ij, t in self.tiles.items()}
         return out

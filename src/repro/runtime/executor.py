@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..linalg import hcore
+from ..linalg.batched import BatchItem, BatchPlanner, run_batch
 from ..linalg.compression import TruncationRule
 from ..linalg.flops import FlopCounter
 from ..linalg.tiles import LowRankTile
@@ -38,7 +39,7 @@ from ..utils.exceptions import RuntimeSystemError
 from .graph import TaskGraph
 from .memory_pool import MemoryPool
 from .resilience import ResilienceReport, as_checkpointer, build_manager
-from .task import TaskKind, task_name
+from .task import TaskKind, task_name, task_sort_key
 
 __all__ = ["ExecutionReport", "execute_graph"]
 
@@ -87,6 +88,7 @@ def execute_graph(
     rule: TruncationRule | None = None,
     use_pool: bool = True,
     backend=None,
+    batch: bool = False,
     faults=None,
     recovery=None,
     checkpoint=None,
@@ -112,6 +114,13 @@ def execute_graph(
     backend:
         Compression backend for GEMM recompressions; defaults to the
         matrix's backend.
+    batch:
+        Drain the ready set into same-shape kernel buckets and dispatch
+        each bucket as one stacked BLAS/LAPACK call (see
+        :mod:`repro.linalg.batched`).  Results are bitwise identical to
+        unbatched execution.  Ignored (forced off) when the recovery
+        engine is active — retry/rollback wraps individual task
+        attempts, which batching would fuse.
     faults:
         Fault-injection source: a spec string (see
         :mod:`repro.testing.faults` for the grammar), a ``FaultPlan``, or
@@ -190,57 +199,69 @@ def execute_graph(
     observing = obs.enabled()
     if observing:
         obs.graph_observed(graph, task_name)
+
+    def finish_task(tid, task) -> None:
+        """Post-commit bookkeeping shared by both dispatch loops."""
+        nonlocal panels_total_done, panels_since_save
+        report.tasks_executed += 1
+        completed.add(tid)
+        panel_remaining[task.panel] -= 1
+        if panel_remaining[task.panel] == 0:
+            panels_total_done += 1
+            panels_since_save += 1
+            if (
+                ckptr is not None
+                and panels_since_save >= ckptr.config.every
+                and len(completed) < len(graph.tasks)
+            ):
+                ckptr.save(matrix, completed, panels_total_done)
+                rrep.checkpoints_written += 1
+                panels_since_save = 0
+
     try:
-        for tid in graph.topological_order():
-            task = graph.tasks[tid]
-            if tid != _canonical_tid(task):
-                raise RuntimeSystemError(
-                    "executor received an expanded graph; build it without "
-                    "recursive_split"
-                )
-            if tid in completed:
-                continue
-            kind = task.kind
-            if observing:
-                span = obs.span(
-                    task_name(tid),
-                    "task",
-                    kernel=task.kernel.value,
-                    flops=task.flops,
-                )
-            else:
-                span = obs.NULL_SPAN
-            with span:
-                if manager is not None:
-                    out, recomp = manager.run(
-                        task,
-                        matrix,
-                        lambda: _compute_task(
-                            tid, task, matrix, rule, backend, report.counter
-                        ),
+        if batch and manager is None:
+            _run_batched_loop(
+                graph, matrix, rule, backend, report, pooled, use_pool,
+                stats_lock, completed, finish_task, observing,
+            )
+        else:
+            for tid in graph.topological_order():
+                task = graph.tasks[tid]
+                if tid != _canonical_tid(task):
+                    raise RuntimeSystemError(
+                        "executor received an expanded graph; build it "
+                        "without recursive_split"
+                    )
+                if tid in completed:
+                    continue
+                if observing:
+                    span = obs.span(
+                        task_name(tid),
+                        "task",
+                        kernel=task.kernel.value,
+                        flops=task.flops,
                     )
                 else:
-                    out, recomp = _compute_task(
-                        tid, task, matrix, rule, backend, report.counter
+                    span = obs.NULL_SPAN
+                with span:
+                    if manager is not None:
+                        out, recomp = manager.run(
+                            task,
+                            matrix,
+                            lambda: _compute_task(
+                                tid, task, matrix, rule, backend,
+                                report.counter
+                            ),
+                        )
+                    else:
+                        out, recomp = _compute_task(
+                            tid, task, matrix, rule, backend, report.counter
+                        )
+                    _commit_task(
+                        tid, task, out, recomp, matrix, report, pooled,
+                        use_pool, stats_lock,
                     )
-                _commit_task(
-                    tid, task, out, recomp, matrix, report, pooled,
-                    use_pool, stats_lock,
-                )
-            report.tasks_executed += 1
-            completed.add(tid)
-            panel_remaining[task.panel] -= 1
-            if panel_remaining[task.panel] == 0:
-                panels_total_done += 1
-                panels_since_save += 1
-                if (
-                    ckptr is not None
-                    and panels_since_save >= ckptr.config.every
-                    and len(completed) < len(graph.tasks)
-                ):
-                    ckptr.save(matrix, completed, panels_total_done)
-                    rrep.checkpoints_written += 1
-                    panels_since_save = 0
+                finish_task(tid, task)
         if ckptr is not None and report.tasks_executed:
             # Final checkpoint: resuming a finished run is a no-op.
             ckptr.save(matrix, completed, panels_total_done)
@@ -260,6 +281,122 @@ def execute_graph(
             get_backend(backend).workspace_pool_stats, pool="workspace"
         )
     return report
+
+
+def _batch_item(tid, task, matrix) -> BatchItem:
+    """Wrap a ready task and its operand tiles for the batching layer.
+
+    Safe to build at ready time: a task's input tiles are final once its
+    dependencies committed, and nothing rewrites them afterwards (panel
+    tiles are final after their TRSM; trailing-tile updates are chained).
+    """
+    kind = task.kind
+    if kind is TaskKind.POTRF:
+        (_, k) = tid
+        return BatchItem(tid, "potrf", (matrix.tile(k, k),), index=(k, k))
+    if kind is TaskKind.TRSM:
+        (_, m, k) = tid
+        return BatchItem(tid, "trsm", (matrix.tile(k, k), matrix.tile(m, k)))
+    if kind is TaskKind.SYRK:
+        (_, n, k) = tid
+        return BatchItem(tid, "syrk", (matrix.tile(n, k), matrix.tile(n, n)))
+    (_, m, n, k) = tid
+    return BatchItem(
+        tid, "gemm", (matrix.tile(m, k), matrix.tile(n, k), matrix.tile(m, n))
+    )
+
+
+def _record_batch_spans(tids, graph, start, end, worker=None) -> None:
+    """Emit per-task spans for one batched window.
+
+    The batch executed as a single fused call; its wall-clock window is
+    apportioned to the member tasks proportionally to their modelled
+    flops, keeping the spans contiguous and non-overlapping so the
+    analytics critical-path/GFLOP/s join keeps working on batched runs.
+    """
+    tasks = [graph.tasks[tid] for tid in tids]
+    weights = [max(task.flops, 1.0) for task in tasks]
+    total = sum(weights)
+    n = len(tids)
+    t = start
+    attrs = {} if worker is None else {"worker": worker}
+    for tid, task, w in zip(tids, tasks, weights):
+        dt = (end - start) * (w / total)
+        obs.record_span(
+            task_name(tid),
+            "task",
+            start=t,
+            end=t + dt,
+            kernel=task.kernel.value,
+            flops=task.flops,
+            batched=n,
+            **attrs,
+        )
+        t += dt
+
+
+def _run_batched_loop(
+    graph, matrix, rule, backend, report, pooled, use_pool, stats_lock,
+    completed, finish_task, observing,
+) -> None:
+    """Kahn-wave dispatch with same-shape bucket batching.
+
+    Each wave drains the full ready set, partitions it into shape-keyed
+    buckets (:class:`~repro.linalg.batched.BatchPlanner`), and runs every
+    group through :func:`~repro.linalg.batched.run_batch`.  Commit order
+    within a wave follows the scheduler's priority order, so pool/tracker
+    accounting stays deterministic; the computed factor is bitwise
+    independent of grouping by construction.
+    """
+    planner = BatchPlanner()
+    pending = []
+    for tid, task in graph.tasks.items():
+        if tid != _canonical_tid(task):
+            raise RuntimeSystemError(
+                "executor received an expanded graph; build it without "
+                "recursive_split"
+            )
+        if tid not in completed:
+            pending.append(tid)
+    indeg: dict[tuple, int] = {}
+    succs: dict[tuple, list[tuple]] = {tid: [] for tid in graph.tasks}
+    for tid in pending:
+        sources = {e.src for e in graph.tasks[tid].deps} - completed
+        indeg[tid] = len(sources)
+        for src in sources:
+            succs[src].append(tid)
+    ready = [tid for tid in pending if indeg[tid] == 0]
+    while ready:
+        ready.sort(key=lambda t: task_sort_key(graph.tasks[t]))
+        items = [_batch_item(tid, graph.tasks[tid], matrix) for tid in ready]
+        next_ready: list[tuple] = []
+        for group in planner.partition(items):
+            t_start = obs.clock() if observing else 0.0
+            results = run_batch(
+                group, rule, counter=report.counter, backend=backend
+            )
+            if observing:
+                _record_batch_spans(
+                    [item.ref for item in group], graph, t_start, obs.clock()
+                )
+            for res in results:
+                tid = res.ref
+                task = graph.tasks[tid]
+                _commit_task(
+                    tid, task, res.out, res.recomp, matrix, report, pooled,
+                    use_pool, stats_lock,
+                )
+                finish_task(tid, task)
+                for succ in succs[tid]:
+                    indeg[succ] -= 1
+                    if indeg[succ] == 0:
+                        next_ready.append(succ)
+        ready = next_ready
+    if len(completed) != len(graph.tasks):
+        raise RuntimeSystemError(
+            f"batched execution stalled: {len(completed)} of "
+            f"{len(graph.tasks)} tasks completed (cyclic graph?)"
+        )
 
 
 def _compute_task(tid, task, matrix, rule, backend, counter):

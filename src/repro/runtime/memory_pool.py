@@ -16,6 +16,7 @@ behaviour faithfully.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import prod as _prod
 
 import numpy as np
 
@@ -41,35 +42,39 @@ class PoolStats:
 
 
 class MemoryPool:
-    """A size-classed reusable buffer pool for float64 arrays.
+    """A size-classed reusable buffer pool for float64/float32 arrays.
 
-    Buffers are keyed by their flat element count and reshaped on reuse —
-    a ``(b, k)`` factor released by one tile can serve another tile's
-    ``(k, b)`` workspace.  Double releases are detected and rejected.
+    Buffers are keyed by their flat element count and dtype, and reshaped
+    on reuse — a ``(b, k)`` factor released by one tile can serve another
+    tile's ``(k, b)`` workspace of the same dtype.  Double releases are
+    detected and rejected.
     """
 
     def __init__(self) -> None:
-        self._free: dict[int, list[np.ndarray]] = {}
+        self._free: dict[tuple[int, str], list[np.ndarray]] = {}
         self._live: set[int] = set()
         self.stats = PoolStats()
 
-    def allocate(self, shape: tuple[int, ...]) -> np.ndarray:
-        """A float64 buffer of ``shape``, reused when a match exists.
+    def allocate(self, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A buffer of ``shape``/``dtype``, reused when a match exists.
 
         Reused buffers are *not* zeroed (matching real pool semantics);
         callers must fully overwrite them.
         """
-        nelem = int(np.prod(shape))
-        bucket = self._free.get(nelem)
+        dtype = np.dtype(dtype)
+        nelem = _prod(shape)
+        bucket = self._free.get((nelem, dtype.char))
+        stats = self.stats
         if bucket:
             buf = bucket.pop().reshape(shape)
-            self.stats.reuses += 1
+            stats.reuses += 1
         else:
-            buf = np.empty(shape, dtype=np.float64)
-            self.stats.allocations += 1
+            buf = np.empty(shape, dtype=dtype)
+            stats.allocations += 1
         self._live.add(id(buf))
-        self.stats.outstanding_bytes += buf.nbytes
-        self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.outstanding_bytes)
+        outstanding = stats.outstanding_bytes = stats.outstanding_bytes + buf.nbytes
+        if outstanding > stats.peak_bytes:
+            stats.peak_bytes = outstanding
         return buf
 
     def release(self, buf: np.ndarray) -> None:
@@ -82,7 +87,7 @@ class MemoryPool:
         self.stats.releases += 1
         self.stats.outstanding_bytes -= buf.nbytes
         flat = buf.reshape(-1)
-        self._free.setdefault(flat.size, []).append(flat)
+        self._free.setdefault((flat.size, flat.dtype.char), []).append(flat)
 
     def take(self, array: np.ndarray) -> np.ndarray:
         """Adopt an externally created array into the pool's accounting.
@@ -92,14 +97,17 @@ class MemoryPool:
         copied into a pool buffer, mirroring PaRSEC's re-association of
         freshly sized memory with the runtime.
         """
-        buf = self.allocate(array.shape)
+        buf = self.allocate(array.shape, dtype=array.dtype)
         buf[...] = array
         return buf
 
     @property
     def free_bytes(self) -> int:
         """Bytes currently parked in the free lists."""
-        return sum(8 * n * len(bufs) for n, bufs in self._free.items())
+        return sum(
+            np.dtype(char).itemsize * n * len(bufs)
+            for (n, char), bufs in self._free.items()
+        )
 
     @property
     def live_count(self) -> int:

@@ -56,7 +56,14 @@ from ..matrix.memory import MemoryTracker
 from ..matrix.tlr_matrix import BandTLRMatrix
 from ..utils.exceptions import RuntimeSystemError, SchedulingError
 from ..utils.validation import check_positive_int
-from .executor import _canonical_tid, _commit_task, _compute_task
+from ..linalg.batched import BatchPlanner, run_batch
+from .executor import (
+    _batch_item,
+    _canonical_tid,
+    _commit_task,
+    _compute_task,
+    _record_batch_spans,
+)
 from .graph import TaskGraph
 from .memory_pool import MemoryPool
 from .resilience import ResilienceReport, as_checkpointer, build_manager
@@ -82,9 +89,9 @@ class ThreadSafeFlopCounter(FlopCounter):
         super().__init__()
         self._lock = threading.Lock()
 
-    def add(self, kind, flops) -> None:
+    def add(self, kind, flops, count: int = 1) -> None:
         with self._lock:
-            super().add(kind, flops)
+            super().add(kind, flops, count)
 
 
 class ThreadSafeMemoryPool(MemoryPool):
@@ -97,9 +104,9 @@ class ThreadSafeMemoryPool(MemoryPool):
         super().__init__()
         self._lock = threading.RLock()
 
-    def allocate(self, shape):
+    def allocate(self, shape, dtype=np.float64):
         with self._lock:
-            return super().allocate(shape)
+            return super().allocate(shape, dtype=dtype)
 
     def release(self, buf) -> None:
         with self._lock:
@@ -189,6 +196,7 @@ def execute_graph_parallel(
     scheduler: str = "priority",
     collect_trace: bool = False,
     backend=None,
+    batch: bool = False,
     faults=None,
     recovery=None,
     checkpoint=None,
@@ -220,7 +228,17 @@ def execute_graph_parallel(
     collect_trace:
         Record per-task ``(tid, worker, start, end)`` tuples in seconds
         relative to launch — consumable by ``gantt`` and
-        ``export_chrome_trace`` exactly like a simulator trace.
+        ``export_chrome_trace`` exactly like a simulator trace.  In
+        batched mode fused windows are apportioned to member tasks by
+        modelled flops.
+    batch:
+        When a worker claims a task, it also claims every other *ready*
+        task with the same batch key (same kernel class, shapes, ranks,
+        dtypes — see :mod:`repro.linalg.batched`) and runs the bucket as
+        one stacked BLAS/LAPACK call.  Results stay bitwise identical to
+        unbatched execution for any worker count; the scheduler policy
+        still picks *which* bucket goes first, batching only widens the
+        claim.  Ignored (forced off) when the recovery engine is active.
     faults:
         Fault-injection source (spec string / ``FaultPlan`` / injector);
         implies the recovery engine.  Injection decisions depend only on
@@ -325,9 +343,48 @@ def execute_graph_parallel(
             return (-arrival_seq,)
         return task_sort_key(graph.tasks[tid])
 
+    # --- batching state (caller holds ``cond`` for all mutations) -----
+    # A task's batch key is computable the moment it becomes ready (its
+    # input tiles are final), so buckets are maintained alongside the
+    # heap: claiming one task claims its whole bucket, and stale heap
+    # entries of co-claimed tasks are skipped on pop.
+    batching = batch and manager is None
+    planner = BatchPlanner() if batching else None
+    bucket_of: dict[tuple, tuple | None] = {}
+    buckets: dict[tuple, list[tuple]] = {}
+    claimed: set[tuple] = set()
+
+    def register_ready(tid: tuple) -> None:
+        heapq.heappush(ready, (ready_key(tid), tid))
+        if batching:
+            kb = planner.key(_batch_item(tid, graph.tasks[tid], matrix))
+            bucket_of[tid] = kb
+            if kb is not None:
+                buckets.setdefault(kb, []).append(tid)
+
+    def claim_group(tid: tuple) -> list[tuple]:
+        """The bucket ``tid`` leads, capped at the planner's max batch."""
+        group = [tid]
+        if batching:
+            kb = bucket_of.get(tid)
+            if kb is not None:
+                members = [
+                    t for t in buckets.pop(kb, []) if t not in claimed
+                ]
+                if members:
+                    members.sort(
+                        key=lambda t: task_sort_key(graph.tasks[t])
+                    )
+                    group = members[: planner.max_batch]
+                    rest = members[planner.max_batch :]
+                    if rest:
+                        buckets[kb] = rest
+        claimed.update(group)
+        return group
+
     for tid in pending:
         if indeg[tid] == 0:
-            heapq.heappush(ready, (ready_key(tid), tid))
+            register_ready(tid)
 
     n_tasks = len(pending)
     state = {"executed": 0, "inflight": 0, "failed": None, "cancelled": False}
@@ -382,6 +439,33 @@ def execute_graph_parallel(
                 use_pool, stats_lock,
             )
 
+    def run_group(tids: list[tuple]) -> None:
+        """Execute a claimed batch with one stacked kernel call.
+
+        Ready tasks always have distinct output tiles, so the write
+        locks form a disjoint set; acquiring them in sorted order keeps
+        lock acquisition deadlock-free against the singleton path.
+        """
+        items = [_batch_item(t, graph.tasks[t], matrix) for t in tids]
+        out_locks = [
+            tile_locks[ij]
+            for ij in sorted({graph.tasks[t].out_tile for t in tids})
+        ]
+        for lk in out_locks:
+            lk.acquire()
+        try:
+            results = run_batch(
+                items, rule, counter=report.counter, backend=backend
+            )
+            for res in results:
+                _commit_task(
+                    res.ref, graph.tasks[res.ref], res.out, res.recomp,
+                    matrix, report, pooled, use_pool, stats_lock,
+                )
+        finally:
+            for lk in reversed(out_locks):
+                lk.release()
+
     def write_checkpoint() -> None:
         """Persist the frontier; caller holds ``cond`` with no task
         in flight, so the tile state is a consistent dataflow cut."""
@@ -419,7 +503,12 @@ def execute_graph_parallel(
                             continue
                     if ready:
                         _, tid = heapq.heappop(ready)
-                        state["inflight"] += 1
+                        if tid in claimed:
+                            # Stale heap entry: this task already ran as
+                            # a co-claimed member of an earlier batch.
+                            continue
+                        group = claim_group(tid)
+                        state["inflight"] += len(group)
                         if observing:
                             obs.sample("ready_queue_depth", len(ready))
                         break
@@ -428,23 +517,32 @@ def execute_graph_parallel(
                     cond.wait(timeout=0.05)
             start = time.perf_counter() - t0
             try:
-                if observing:
-                    _task = graph.tasks[tid]
-                    with obs.span(
-                        task_name(tid),
-                        "task",
-                        worker=wid,
-                        kernel=_task.kernel.value,
-                        flops=_task.flops,
-                    ):
+                if len(group) == 1:
+                    tid = group[0]
+                    if observing:
+                        _task = graph.tasks[tid]
+                        with obs.span(
+                            task_name(tid),
+                            "task",
+                            worker=wid,
+                            kernel=_task.kernel.value,
+                            flops=_task.flops,
+                        ):
+                            run_task(tid)
+                    else:
                         run_task(tid)
                 else:
-                    run_task(tid)
+                    clk0 = obs.clock() if observing else 0.0
+                    run_group(group)
+                    if observing:
+                        _record_batch_spans(
+                            group, graph, clk0, obs.clock(), worker=wid
+                        )
             except Exception as exc:  # propagate to the caller (wrapped)
                 with cond:
                     if state["failed"] is None:
                         state["failed"] = exc
-                    state["inflight"] -= 1
+                    state["inflight"] -= len(group)
                     cond.notify_all()
                 return
             except BaseException as exc:
@@ -456,34 +554,48 @@ def execute_graph_parallel(
                         state["failed"] = exc
                         state["cancelled"] = True
                     ready.clear()
-                    state["inflight"] -= 1
+                    state["inflight"] -= len(group)
                     cond.notify_all()
                 return
             end = time.perf_counter() - t0
             busy[wid] += end - start
             if collect_trace:
-                traces[wid].append((tid, wid, start, end))
+                if len(group) == 1:
+                    traces[wid].append((group[0], wid, start, end))
+                else:
+                    # Apportion the batched window per task by modelled
+                    # flops, mirroring _record_batch_spans.
+                    weights = [
+                        max(graph.tasks[t].flops, 1.0) for t in group
+                    ]
+                    total_w = sum(weights)
+                    cursor = start
+                    for t2, w in zip(group, weights):
+                        t_end = cursor + (end - start) * (w / total_w)
+                        traces[wid].append((t2, wid, cursor, t_end))
+                        cursor = t_end
             with cond:
-                state["inflight"] -= 1
-                state["executed"] += 1
-                completed.add(tid)
-                task = graph.tasks[tid]
-                panel_remaining[task.panel] -= 1
-                if panel_remaining[task.panel] == 0:
-                    panels["done"] += 1
-                    panels["since"] += 1
-                    if (
-                        ckptr is not None
-                        and panels["since"] >= ckptr.config.every
-                        and state["executed"] < n_tasks
-                    ):
-                        panels["due"] = True
+                state["inflight"] -= len(group)
+                state["executed"] += len(group)
                 released = 0
-                for succ in succs[tid]:
-                    indeg[succ] -= 1
-                    if indeg[succ] == 0:
-                        heapq.heappush(ready, (ready_key(succ), succ))
-                        released += 1
+                for t2 in group:
+                    completed.add(t2)
+                    task = graph.tasks[t2]
+                    panel_remaining[task.panel] -= 1
+                    if panel_remaining[task.panel] == 0:
+                        panels["done"] += 1
+                        panels["since"] += 1
+                        if (
+                            ckptr is not None
+                            and panels["since"] >= ckptr.config.every
+                            and state["executed"] < n_tasks
+                        ):
+                            panels["due"] = True
+                    for succ in succs[t2]:
+                        indeg[succ] -= 1
+                        if indeg[succ] == 0:
+                            register_ready(succ)
+                            released += 1
                 if observing and released:
                     obs.sample("ready_queue_depth", len(ready))
                 if state["executed"] == n_tasks or released or panels["due"]:

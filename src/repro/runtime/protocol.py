@@ -92,6 +92,7 @@ class Executor(ABC):
         rule=None,
         use_pool: bool = True,
         backend=None,
+        batch: bool = False,
         collect_trace: bool = False,
         faults=None,
         recovery=None,
@@ -108,14 +109,14 @@ class SequentialExecutor(Executor):
     name = "sequential"
 
     def execute(self, graph, matrix, *, rule=None, use_pool=True,
-                backend=None, collect_trace=False, faults=None,
+                backend=None, batch=False, collect_trace=False, faults=None,
                 recovery=None, checkpoint=None, resume=False) -> ExecutorRun:
         from .executor import execute_graph
 
         report = execute_graph(
             graph, matrix, rule=rule, use_pool=use_pool, backend=backend,
-            faults=faults, recovery=recovery, checkpoint=checkpoint,
-            resume=resume,
+            batch=batch, faults=faults, recovery=recovery,
+            checkpoint=checkpoint, resume=resume,
         )
         return ExecutorRun(executor=self.name, report=report)
 
@@ -131,15 +132,16 @@ class ThreadExecutor(Executor):
         self.scheduler = scheduler
 
     def execute(self, graph, matrix, *, rule=None, use_pool=True,
-                backend=None, collect_trace=False, faults=None,
+                backend=None, batch=False, collect_trace=False, faults=None,
                 recovery=None, checkpoint=None, resume=False) -> ExecutorRun:
         from .parallel import execute_graph_parallel
 
         report = execute_graph_parallel(
             graph, matrix, n_workers=self.n_workers, rule=rule,
             use_pool=use_pool, scheduler=self.scheduler,
-            collect_trace=collect_trace, backend=backend, faults=faults,
-            recovery=recovery, checkpoint=checkpoint, resume=resume,
+            collect_trace=collect_trace, backend=backend, batch=batch,
+            faults=faults, recovery=recovery, checkpoint=checkpoint,
+            resume=resume,
         )
         return ExecutorRun(executor=self.name, report=report)
 
@@ -158,8 +160,13 @@ class ProcessExecutor(Executor):
         self.max_restarts = max_restarts
 
     def execute(self, graph, matrix, *, rule=None, use_pool=True,
-                backend=None, collect_trace=False, faults=None,
+                backend=None, batch=False, collect_trace=False, faults=None,
                 recovery=None, checkpoint=None, resume=False) -> ExecutorRun:
+        if batch:
+            raise ConfigurationError(
+                "kernel batching requires shared-memory tiles; the "
+                "processes executor does not support batch=True"
+            )
         from .distributed import execute_graph_distributed
 
         report = execute_graph_distributed(
@@ -196,8 +203,13 @@ class SimExecutor(Executor):
         self.scheduler = scheduler
 
     def execute(self, graph, matrix, *, rule=None, use_pool=True,
-                backend=None, collect_trace=False, faults=None,
+                backend=None, batch=False, collect_trace=False, faults=None,
                 recovery=None, checkpoint=None, resume=False) -> ExecutorRun:
+        if batch:
+            raise ConfigurationError(
+                "the sim executor predicts a run; kernel batching only "
+                "applies to the sequential and thread executors"
+            )
         if faults is not None or recovery is not None \
                 or checkpoint is not None or resume:
             raise ConfigurationError(

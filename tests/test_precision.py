@@ -6,7 +6,13 @@ import pytest
 from repro import TruncationRule, st_3d_exp_problem
 from repro.core import tlr_cholesky
 from repro.linalg import DenseTile, LowRankTile
-from repro.linalg.precision import demote_matrix, quantize_tile
+from repro.linalg.precision import (
+    PrecisionPolicy,
+    apply_precision,
+    demote_matrix,
+    quantize_tile,
+    resolve_precision,
+)
 from repro.matrix import BandTLRMatrix
 from repro.utils import ConfigurationError
 
@@ -86,3 +92,82 @@ class TestDemoteMatrix:
         m = BandTLRMatrix.from_problem(problem, TruncationRule(eps=1e-6), 1)
         with pytest.raises(ConfigurationError):
             demote_matrix(m, min_distance=0)
+
+
+class TestAdaptiveComputePath:
+    """The adaptive mixed-precision factorization path (PR 7 tentpole)."""
+
+    @staticmethod
+    def _factorize(problem, eps, precision, **kw):
+        m = BandTLRMatrix.from_problem(
+            problem, TruncationRule(eps=eps), 2, precision=precision
+        )
+        report = tlr_cholesky(m, precision=precision, **kw)
+        return m, report
+
+    @pytest.mark.parametrize("eps", [1e-4, 1e-6])
+    def test_adaptive_accuracy_within_10x_of_fp64(self, problem, eps):
+        a = problem.dense()
+
+        def backward(m):
+            l = m.to_dense(lower_only=True)
+            return np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+
+        m64, _ = self._factorize(problem, eps, None)
+        mad, rep = self._factorize(problem, eps, "adaptive")
+        err64, errad = backward(m64), backward(mad)
+        assert errad < 10 * max(err64, eps)
+        assert rep.precision_report is not None
+        assert rep.precision_report.mode == "adaptive"
+
+    def test_adaptive_halves_offband_bytes(self, problem):
+        _, rep = self._factorize(problem, 1e-4, "adaptive")
+        pr = rep.precision_report
+        assert pr.demoted_tiles > 0
+        assert pr.offband_saving_factor == pytest.approx(2.0, rel=0.05)
+
+    def test_tight_eps_falls_back_to_fp64(self, problem):
+        """Below the fp32 ε floor the adaptive policy must not demote."""
+        m, rep = self._factorize(problem, 1e-10, "adaptive")
+        pr = rep.precision_report
+        assert pr.demoted_tiles == 0
+        assert pr.offband_saving_factor == pytest.approx(1.0)
+        for tile in m.tiles.values():
+            if isinstance(tile, LowRankTile):
+                assert tile.dtype == np.float64
+
+    def test_fp32_mode_demotes_unconditionally(self, problem):
+        m, rep = self._factorize(problem, 1e-10, "fp32")
+        assert rep.precision_report.demoted_tiles > 0
+
+    def test_adaptive_with_batching_and_threads(self, problem):
+        a = problem.dense()
+        m, _ = self._factorize(problem, 1e-4, "adaptive", batch=True, n_workers=2)
+        l = m.to_dense(lower_only=True)
+        err = np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+        assert err < 1e-3
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrecisionPolicy(mode="fp16")
+        with pytest.raises(ConfigurationError):
+            PrecisionPolicy(fp32_eps_floor=0.0)
+        with pytest.raises(ConfigurationError):
+            resolve_precision(42)
+
+    def test_apply_precision_round_trip(self, problem):
+        m = BandTLRMatrix.from_problem(problem, TruncationRule(eps=1e-4), 1)
+        before = {k: t.to_dense().copy() for k, t in m.tiles.items()}
+        apply_precision(m, PrecisionPolicy(mode="adaptive"))
+        assert any(
+            isinstance(t, LowRankTile) and t.dtype == np.float32
+            for t in m.tiles.values()
+        )
+        apply_precision(m, PrecisionPolicy(mode="fp64"))
+        for k, t in m.tiles.items():
+            if isinstance(t, LowRankTile):
+                assert t.dtype == np.float64
+            # fp32 round-trip loses the low bits, but stays at fp32 noise
+            ref = before[k]
+            scale = max(np.abs(ref).max(), 1e-30)
+            assert np.abs(t.to_dense() - ref).max() / scale < 1e-5
