@@ -16,7 +16,14 @@ Nine focused commands mirroring the library's main entry points:
 * ``bench``     — run the standing benchmark suite and append
   median/IQR records to ``BENCH_history.jsonl``;
 * ``compare``   — noise-aware regression gate between two bench runs or
-  two ``--obs`` trace directories (exit 1 on a gated regression).
+  two ``--obs`` trace directories (exit 1 on a gated regression);
+* ``serve``     — run the factorize-once/solve-many solver service
+  against generated closed-loop traffic and print the serving report
+  (latency percentiles, batch widths, cache + queue outcomes);
+* ``bench-service`` — the batched-vs-one-at-a-time serving latency
+  benchmark: two load-generator arms against the same problem, p50/p95/
+  p99 recorded to the bench history (full gate behind
+  ``REPRO_BENCH_SERVICE_FULL=1``).
 
 ``demo`` and ``execute`` accept ``--obs DIR``: the run executes under an
 active :mod:`repro.obs` observation and writes the standard artifacts
@@ -507,6 +514,166 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if result.has_regression else 0
 
 
+def _band_arg(value: str):
+    """``--band`` values for the service commands: ``auto`` or an int."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"band must be 'auto' or an integer, got {value!r}"
+        ) from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    return _observed(args, lambda: _run_serve(args))
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro import st_3d_exp_problem
+    from repro.analysis import format_table
+    from repro.service import ServiceConfig, SolverService, run_load
+
+    problem = st_3d_exp_problem(args.n, args.tile, seed=args.seed)
+    config = ServiceConfig(
+        n_workers=args.service_workers,
+        max_queue_depth=args.max_queue,
+        max_batch=args.max_batch,
+        cache_bytes=(
+            args.cache_mb * 2**20 if args.cache_mb is not None else None
+        ),
+        warm_dir=args.warm_dir,
+        default_deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+    )
+    print(f"serving st-3D-exp n={args.n}, b={args.tile} at "
+          f"eps={args.accuracy:g} [{args.compression}] "
+          f"precision={args.precision}: {config.n_workers} workers, "
+          f"queue<={config.max_queue_depth}, batch<={config.max_batch}")
+    with SolverService(config) as svc:
+        session = svc.session(
+            problem,
+            accuracy=args.accuracy,
+            band_size=args.band,
+            compression=args.compression,
+            precision=args.precision,
+        )
+        t0 = time.perf_counter()
+        entry = session.warm()
+        print(f"factor resident in {time.perf_counter() - t0:.2f}s "
+              f"({entry.nbytes / 2**20:.1f} MiB, key "
+              f"{session.key.digest()}, precision "
+              f"{entry.realized_precision})")
+        report = run_load(
+            session,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            seed=args.seed,
+        )
+        stats = svc.stats()
+    cache = stats.cache
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("clients x requests", f"{args.clients} x {args.requests}"),
+            ("completed", report.completed),
+            ("rejected (backpressure)", report.rejected),
+            ("dropped (deadline)", report.dropped),
+            ("failed", report.failed),
+            ("throughput (req/s)", round(report.throughput_rps, 1)),
+            ("p50 latency (ms)", round(report.p50_ms, 3)),
+            ("p95 latency (ms)", round(report.p95_ms, 3)),
+            ("p99 latency (ms)", round(report.p99_ms, 3)),
+            ("mean batch width", round(report.mean_batch_width, 2)),
+            ("max batch width", report.max_batch_width),
+            ("cache hits / misses", f"{cache.hits} / {cache.misses}"),
+            ("factorizations", cache.factorizations),
+            ("warm starts", cache.warm_starts),
+            ("resident factors (MiB)",
+             round(cache.resident_bytes / 2**20, 1)),
+        ],
+        title=f"solver service: {report.completed} solves, "
+              f"{stats.batches} batches",
+    ))
+    return 0
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import perf, st_3d_exp_problem
+    from repro.analysis import format_table
+    from repro.service import (
+        ServiceConfig,
+        SolverService,
+        records_from_load,
+        run_load,
+    )
+
+    n = 512 if args.smoke else args.n
+    tile = 64 if args.smoke else args.tile
+    requests = min(args.requests, 5) if args.smoke else args.requests
+    problem = st_3d_exp_problem(n, tile, seed=args.seed)
+
+    def arm(max_batch: int):
+        config = ServiceConfig(
+            n_workers=1,                      # both arms serialize on one
+            max_queue_depth=max(64, 2 * args.clients),  # worker: the delta
+            max_batch=max_batch,              # is batching, nothing else
+        )
+        with SolverService(config) as svc:
+            session = svc.session(
+                problem, accuracy=args.accuracy, band_size=args.band,
+            )
+            return run_load(
+                session,
+                clients=args.clients,
+                requests_per_client=requests,
+                seed=args.seed,
+            )
+
+    print(f"bench-service: n={n}, b={tile}, eps={args.accuracy:g}, "
+          f"{args.clients} closed-loop clients x {requests} requests")
+    solo = arm(1)
+    batched = arm(args.max_batch)
+    ratio = solo.p50_ms / batched.p50_ms if batched.p50_ms > 0 else 0.0
+
+    run = args.label or ("svc-" + time.strftime("%Y%m%dT%H%M%SZ",
+                                                time.gmtime()))
+    shared = {"n": n, "tile": tile, "accuracy": args.accuracy,
+              "smoke": args.smoke}
+    records = [
+        records_from_load(solo, name="service_solve_solo", run=run,
+                          config={**shared, "max_batch": 1}),
+        records_from_load(batched, name="service_solve_batched", run=run,
+                          config={**shared, "max_batch": args.max_batch}),
+    ]
+    path = perf.append_history(records, args.out)
+    print(format_table(
+        ["arm", "p50 ms", "p95 ms", "p99 ms", "req/s", "mean width"],
+        [
+            ("one-at-a-time", round(solo.p50_ms, 3), round(solo.p95_ms, 3),
+             round(solo.p99_ms, 3), round(solo.throughput_rps, 1), 1.0),
+            ("batched", round(batched.p50_ms, 3), round(batched.p95_ms, 3),
+             round(batched.p99_ms, 3), round(batched.throughput_rps, 1),
+             round(batched.mean_batch_width, 2)),
+        ],
+        title=f"serving latency at {args.clients} clients "
+              f"(p50 ratio {ratio:.2f}x)",
+    ))
+    print(f"2 records appended to {path} (run '{run}')")
+    if os.environ.get("REPRO_BENCH_SERVICE_FULL"):
+        if ratio < 1.5:
+            print(f"FAIL: batched p50 must beat one-at-a-time by >= 1.5x "
+                  f"at {args.clients} clients; measured {ratio:.2f}x",
+                  file=sys.stderr)
+            return 1
+        print(f"full gate passed: {ratio:.2f}x >= 1.5x")
+    return 0
+
+
 def _add_resilience_args(sp: argparse.ArgumentParser) -> None:
     """Fault-injection and checkpoint flags shared by demo/execute."""
     sp.add_argument("--faults", type=str, default=None, metavar="SPEC",
@@ -693,6 +860,81 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--threshold", type=float, default=0.25,
                    help="relative slowdown that may gate; a delta must "
                         "also exceed the measured IQR to count")
+
+    v = sub.add_parser(
+        "serve",
+        help="run the factorize-once/solve-many solver service against "
+             "closed-loop traffic and print the serving report",
+    )
+    v.add_argument("--n", type=int, default=1024)
+    v.add_argument("--tile", type=int, default=64)
+    v.add_argument("--accuracy", type=float, default=1e-6)
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--band", type=_band_arg, default="auto",
+                   help="dense band width: 'auto' (Algorithm 1) or an int")
+    v.add_argument("--compression", choices=["svd", "rsvd", "auto"],
+                   default="auto",
+                   help="compression backend: exact SVD, adaptive "
+                        "randomized SVD, or auto (exact below the "
+                        "crossover tile size, randomized above)")
+    v.add_argument("--precision", choices=["fp64", "adaptive", "fp32"],
+                   default="fp64",
+                   help="off-band low-rank storage precision; part of "
+                        "the factor's cache identity (an fp32-adaptive "
+                        "factor never serves an fp64-strict session)")
+    v.add_argument("--service-workers", type=int, default=2,
+                   help="solver worker threads (= factor shards)")
+    v.add_argument("--max-queue", type=int, default=64,
+                   help="bounded pending depth; submissions beyond it "
+                        "are rejected (explicit backpressure)")
+    v.add_argument("--max-batch", type=int, default=16,
+                   help="most same-factor requests stacked into one "
+                        "multi-RHS solve (1 disables batching)")
+    v.add_argument("--cache-mb", type=int, default=None, metavar="MB",
+                   help="factor-cache LRU budget in MiB "
+                        "(default: unbounded)")
+    v.add_argument("--warm-dir", type=str, default=None, metavar="DIR",
+                   help="checkpoint warm-start tier: factors checkpoint "
+                        "into DIR and later cache misses resume from "
+                        "the completed panel frontier")
+    v.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="per-request deadline budget; requests still "
+                        "queued when it lapses are dropped")
+    v.add_argument("--clients", type=int, default=4,
+                   help="closed-loop client threads")
+    v.add_argument("--requests", type=int, default=8,
+                   help="solve requests per client")
+    v.add_argument("--obs", type=str, default=None, metavar="DIR",
+                   help="record spans + metrics and write trace/summary/"
+                        "Prometheus artifacts into DIR")
+
+    bs = sub.add_parser(
+        "bench-service",
+        help="batched vs one-at-a-time serving latency benchmark; "
+             "appends p50/p95/p99 records to the bench history",
+    )
+    bs.add_argument("--n", type=int, default=2048)
+    bs.add_argument("--tile", type=int, default=128)
+    bs.add_argument("--accuracy", type=float, default=1e-4)
+    bs.add_argument("--seed", type=int, default=0)
+    bs.add_argument("--band", type=_band_arg, default=1,
+                    help="dense band width: 'auto' (Algorithm 1) or an int")
+    bs.add_argument("--clients", type=int, default=8,
+                    help="closed-loop client threads (the acceptance "
+                         "gate is stated at 8)")
+    bs.add_argument("--requests", type=int, default=10,
+                    help="solve requests per client per arm")
+    bs.add_argument("--max-batch", type=int, default=16,
+                    help="batch width of the batched arm")
+    bs.add_argument("--smoke", action="store_true",
+                    help="small sizes for CI runners; the >=1.5x gate "
+                         "arms only under REPRO_BENCH_SERVICE_FULL=1")
+    bs.add_argument("--label", type=str, default=None,
+                    help="run label recorded with both arms' records "
+                         "(default: UTC timestamp)")
+    bs.add_argument("--out", type=str, default="BENCH_history.jsonl",
+                    metavar="PATH",
+                    help="history file (or directory) to append to")
     return p
 
 
@@ -709,6 +951,8 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
         "compare": _cmd_compare,
+        "serve": _cmd_serve,
+        "bench-service": _cmd_bench_service,
     }
     return handlers[args.command](args)
 

@@ -18,7 +18,7 @@ from .factorize import FactorizationReport, tlr_cholesky
 from .refine import RefinementResult, refined_solve, tlr_matvec
 from .kriging import KrigingResult, krige
 from .mle import LikelihoodEvaluator, MLEResult, fit_mle, log_likelihood
-from .solve import backward_solve, forward_solve, log_det, solve_spd
+from .solve import backward_solve, forward_solve, log_det, solve_many, solve_spd
 from .tile_size import candidate_tile_sizes, local_minimum_search, suggest_tile_size
 
 __all__ = [
@@ -46,6 +46,7 @@ __all__ = [
     "forward_solve",
     "backward_solve",
     "solve_spd",
+    "solve_many",
     "log_det",
     "suggest_tile_size",
     "candidate_tile_sizes",

@@ -227,6 +227,37 @@ class TLRSolver:
         """Static-vs-dynamic footprint comparison (Fig. 8)."""
         return footprint_report(self.matrix, maxrank=maxrank)
 
+    def factor_key(self):
+        """This solver's factor identity in the solver service's cache.
+
+        The :class:`~repro.service.cache.FactorKey` under which
+        :meth:`SolverService.register_solver
+        <repro.service.server.SolverService.register_solver>` would
+        install this factor: geometry hash, kernel θ, ε, band width,
+        and the ε-resolved precision identity (taken from
+        :attr:`report.precision_report
+        <repro.core.factorize.FactorizationReport.precision_report>`
+        when factorized, so the key always describes what the factor
+        *actually* stores).
+        """
+        if self.problem is None:
+            raise ConfigurationError(
+                "factor_key needs the generating problem (solver.problem)"
+            )
+        from ..service.cache import FactorKey
+
+        pr = self.report.precision_report if self.report else None
+        precision = pr.mode if pr is not None and pr.mode else None
+        if precision is None and self.matrix.precision is not None:
+            precision = self.matrix.precision
+        return FactorKey.from_problem(
+            self.problem,
+            accuracy=self.matrix.rule.eps,
+            band_size=self.matrix.band_size,
+            precision=precision,
+            maxrank=self.matrix.rule.maxrank,
+        )
+
     def _require_factor(self) -> None:
         if not self._factorized:
             raise ConfigurationError(

@@ -72,7 +72,14 @@ from .flops import (
 from .hcore import _count
 from .tiles import DenseTile, LowRankTile, Tile
 
-__all__ = ["BatchItem", "BatchResult", "BatchPlanner", "run_batch"]
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "BatchPlanner",
+    "run_batch",
+    "stack_rhs",
+    "split_solution",
+]
 
 
 @dataclass
@@ -449,3 +456,54 @@ def run_batch(
             BatchResult(item.ref, item.tiles[2], None) for item in group
         ]
     raise KernelError(f"op {op!r} cannot run as a batch")
+
+
+# ----------------------------------------------------------------------
+# Multi-RHS column stacking (the solve-side marshaling primitive)
+# ----------------------------------------------------------------------
+def stack_rhs(rhs_list) -> tuple[np.ndarray, list[int]]:
+    """Stack right-hand sides column-wise into one multi-RHS array.
+
+    The solve-side counterpart of the TRSM marshaling above: ``k``
+    vectors (or multi-column blocks) against the *same* factor become
+    one ``(n, Σwidths)`` float64 array, so every ``solve_triangular``
+    call in the substitution carries all pending columns at once —
+    ``trtrs`` solves columns independently, so each caller's slice of
+    the stacked solution matches a standalone solve.
+
+    Returns the stacked array and the per-input column widths for
+    :func:`split_solution`.
+    """
+    cols = []
+    widths = []
+    for rhs in rhs_list:
+        arr = np.asarray(rhs, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        elif arr.ndim != 2:
+            raise KernelError(
+                f"rhs must be a vector or a 2-D column block, got "
+                f"ndim={arr.ndim}"
+            )
+        cols.append(arr)
+        widths.append(arr.shape[1])
+    if not cols:
+        raise KernelError("stack_rhs needs at least one right-hand side")
+    return (cols[0] if len(cols) == 1 else np.hstack(cols)), widths
+
+
+def split_solution(
+    stacked: np.ndarray, widths: list[int], rhs_list
+) -> list[np.ndarray]:
+    """Undo :func:`stack_rhs`: slice the stacked solution per caller.
+
+    Inputs that arrived as 1-D vectors get 1-D solutions back; 2-D
+    column blocks keep their shape.
+    """
+    out = []
+    offset = 0
+    for rhs, width in zip(rhs_list, widths):
+        block = stacked[:, offset:offset + width]
+        out.append(block[:, 0] if np.asarray(rhs).ndim == 1 else block)
+        offset += width
+    return out

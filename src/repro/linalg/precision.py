@@ -44,8 +44,11 @@ from .tiles import DenseTile, LowRankTile, Tile
 
 __all__ = [
     "PRECISION_MODES",
+    "PRECISION_IDENTITIES",
     "PrecisionPolicy",
     "resolve_precision",
+    "precision_identity",
+    "identity_compatible",
     "apply_precision",
     "mixed_precision_report",
     "quantize_tile",
@@ -57,6 +60,14 @@ _SUPPORTED = (np.float32, np.float16)
 
 #: Recognized precision mode names (CLI ``--precision`` choices).
 PRECISION_MODES = ("fp64", "adaptive", "fp32")
+
+#: ε-resolved precision identities (what a factor's storage *actually*
+#: is, as opposed to the mode that was requested).  ``"adaptive"`` never
+#: appears here: once ε is known, adaptive resolves to either
+#: ``"fp32-adaptive"`` (the floor cleared, off-band tiles demoted) or
+#: ``"fp64"`` (floor not cleared, nothing demoted — the factor is
+#: bitwise an fp64 factor).
+PRECISION_IDENTITIES = ("fp64", "fp32-adaptive", "fp32")
 
 
 @dataclass(frozen=True)
@@ -134,6 +145,38 @@ def resolve_precision(
     )
 
 
+def precision_identity(spec: str | PrecisionPolicy | None, eps: float) -> str:
+    """The ε-resolved storage identity a precision spec denotes.
+
+    ``"adaptive"`` is a *request*, not a storage fact: what a factor
+    actually holds depends on whether ε clears the policy's
+    :attr:`~PrecisionPolicy.fp32_eps_floor`.  This function is the one
+    place that resolution lives — :class:`MixedPrecisionReport.identity`
+    reports the same identity from the realized side, and the service's
+    factor-cache keys use this function on the request side, so the two
+    can never disagree on what "the same precision" means (an
+    fp32-adaptive factor must never be served to an fp64-strict
+    request).
+    """
+    policy = resolve_precision(spec)
+    if policy.mode == "adaptive":
+        return "fp32-adaptive" if eps >= policy.fp32_eps_floor else "fp64"
+    return policy.mode
+
+
+def identity_compatible(requested: str, realized: str) -> bool:
+    """May a factor with storage identity ``realized`` serve ``requested``?
+
+    Exact matches always serve.  The one permitted substitution is a
+    **pure-fp64 factor serving a request that allowed fp32**: full
+    precision is a strict superset of what the request asked for.  The
+    reverse — any fp32-touched factor (``"fp32"`` or
+    ``"fp32-adaptive"``) answering an ``"fp64"``-strict request — is
+    never compatible.
+    """
+    return requested == realized or realized == "fp64"
+
+
 def quantize_tile(tile: Tile, dtype=np.float32) -> Tile:
     """Round a tile's payload through ``dtype`` (returned in float64).
 
@@ -182,6 +225,22 @@ class MixedPrecisionReport:
     offband_bytes_full: int = 0
     offband_bytes_mixed: int = 0
     mode: str = ""
+
+    @property
+    def identity(self) -> str:
+        """ε-resolved storage identity of the factor this report describes.
+
+        The realized-side counterpart of :func:`precision_identity`: an
+        ``"adaptive"``-mode factorization that demoted nothing *is* an
+        fp64 factor (bitwise), so it reports ``"fp64"``; one that
+        demoted tiles reports ``"fp32-adaptive"``.  A missing/empty mode
+        (the storage-only modeling path, or no policy at all) reports
+        ``"fp64"``.  Cache lookups compare this against the request's
+        :func:`precision_identity` via :func:`identity_compatible`.
+        """
+        if self.mode == "adaptive":
+            return "fp32-adaptive" if self.demoted_tiles else "fp64"
+        return self.mode or "fp64"
 
     @property
     def saving_factor(self) -> float:

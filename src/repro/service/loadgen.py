@@ -1,0 +1,201 @@
+"""Closed-loop load generator for the solver service.
+
+The serving claim this repo makes — multi-RHS batching beats
+one-at-a-time serving under concurrency — needs a measurement harness,
+not an anecdote.  This module is that harness:
+
+* **closed-loop clients**: each of ``clients`` threads keeps exactly
+  one request in flight (submit → wait → submit), the standard model
+  for latency benchmarking because offered load adapts to service rate
+  instead of queueing unboundedly;
+* **factorize outside the window**: :func:`run_load` warms the session
+  first, so the measured distribution is pure serving latency (the
+  factorization cost is the cache's business and is reported
+  separately);
+* **latency percentiles**: per-request submit→complete intervals are
+  collected client-side and summarized as p50/p95/p99 — medians for the
+  typical request, tails for what batching and admission control do
+  under load;
+* **history records**: :func:`records_from_load` converts a report into
+  :class:`repro.perf.BenchRecord` rows whose ``times_s`` are the raw
+  latency samples, so the median *is* the p50 and the IQR travels with
+  the record — the same noise-aware dual gate (`python -m repro
+  compare`) that protects every other benchmark protects the serving
+  path too.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.exceptions import DeadlineExceededError, QueueFullError
+from .server import ServiceSession, percentiles
+
+__all__ = ["LoadReport", "run_load", "records_from_load"]
+
+#: Cap on latency samples persisted per record (history rows stay small).
+MAX_RECORD_SAMPLES = 1000
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one closed-loop load run."""
+
+    clients: int
+    requests_per_client: int
+    completed: int = 0
+    rejected: int = 0
+    dropped: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    mean_batch_width: float = 0.0
+    max_batch_width: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    factorizations: int = 0
+    warm_starts: int = 0
+    latencies_s: tuple = field(default_factory=tuple, repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def run_load(
+    session: ServiceSession,
+    *,
+    clients: int = 8,
+    requests_per_client: int = 10,
+    seed: int = 0,
+    deadline_s: float | None = None,
+    retry_rejected: bool = True,
+    retry_sleep_s: float = 0.001,
+) -> LoadReport:
+    """Drive a warmed session with closed-loop concurrent clients.
+
+    Each client thread draws its own RNG stream (``seed + client``) and
+    keeps one request in flight at a time.  A
+    :class:`~repro.utils.exceptions.QueueFullError` is counted as a
+    rejection and — with ``retry_rejected`` — retried after a short
+    sleep, so the closed loop completes its request quota while still
+    recording how often admission control pushed back.  Deadline drops
+    and failures are counted and *not* retried.
+
+    The session is warmed before the clock starts: the report measures
+    serving, not factorization.
+    """
+    session.warm()
+    n = session.recipe.problem.n
+    report = LoadReport(clients=clients, requests_per_client=requests_per_client)
+    lock = threading.Lock()
+    latencies: list[float] = []
+
+    def client(cid: int) -> None:
+        rng = np.random.default_rng(seed + cid)
+        done = 0
+        while done < requests_per_client:
+            rhs = rng.standard_normal(n)
+            try:
+                ticket = session.submit(rhs, deadline_s=deadline_s)
+                ticket.result()
+            except QueueFullError:
+                with lock:
+                    report.rejected += 1
+                if not retry_rejected:
+                    done += 1
+                    continue
+                time.sleep(retry_sleep_s)
+                continue
+            except DeadlineExceededError:
+                with lock:
+                    report.dropped += 1
+                done += 1
+                continue
+            except Exception:
+                with lock:
+                    report.failed += 1
+                done += 1
+                continue
+            with lock:
+                report.completed += 1
+                latencies.append(ticket.latency_s)
+            done += 1
+
+    threads = [
+        threading.Thread(target=client, args=(cid,), name=f"loadgen-{cid}")
+        for cid in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report.wall_s = time.perf_counter() - t0
+
+    report.latencies_s = tuple(latencies)
+    p50, p95, p99 = percentiles(latencies)
+    report.p50_ms, report.p95_ms, report.p99_ms = (
+        p50 * 1e3, p95 * 1e3, p99 * 1e3,
+    )
+    stats = session.service.stats()
+    report.mean_batch_width = stats.mean_batch_width
+    report.max_batch_width = stats.max_batch_width
+    cache = stats.cache
+    report.cache_hits = cache.hits
+    report.cache_misses = cache.misses
+    report.factorizations = cache.factorizations
+    report.warm_starts = cache.warm_starts
+    return report
+
+
+def records_from_load(
+    report: LoadReport,
+    *,
+    name: str,
+    run: str | None = None,
+    config: dict | None = None,
+    warmup: int = 0,
+):
+    """One :class:`~repro.perf.BenchRecord` whose samples are latencies.
+
+    ``timing.median_s`` is then exactly the run's p50, and the IQR is
+    the latency spread — so ``python -m repro compare`` applies its
+    dual (relative + noise) gate to serving latency unchanged.  Samples
+    are capped at :data:`MAX_RECORD_SAMPLES` by even subsampling to
+    keep history rows bounded.
+    """
+    from .. import perf
+
+    samples = list(report.latencies_s)
+    if len(samples) > MAX_RECORD_SAMPLES:
+        idx = np.linspace(0, len(samples) - 1, MAX_RECORD_SAMPLES)
+        samples = [samples[int(i)] for i in idx]
+    if not samples:
+        samples = [0.0]
+    cfg = {
+        "clients": report.clients,
+        "requests_per_client": report.requests_per_client,
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "dropped": report.dropped,
+        "mean_batch_width": round(report.mean_batch_width, 3),
+        "p95_ms": round(report.p95_ms, 3),
+        "p99_ms": round(report.p99_ms, 3),
+        "throughput_rps": round(report.throughput_rps, 3),
+    }
+    cfg.update(config or {})
+    return perf.BenchRecord(
+        name=name,
+        run=run or ("service-" + time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())),
+        timing=perf.Timing(times_s=tuple(samples)),
+        config=cfg,
+        ts=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        warmup=warmup,
+    )

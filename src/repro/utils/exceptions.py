@@ -25,6 +25,10 @@ __all__ = [
     "TaskAbortedError",
     "CheckpointError",
     "FaultSpecError",
+    "ServiceError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServiceClosedError",
 ]
 
 
@@ -126,3 +130,22 @@ class CheckpointError(RuntimeSystemError):
 
 class FaultSpecError(ConfigurationError):
     """A fault-plan specification string could not be parsed."""
+
+
+class ServiceError(ReproError):
+    """Base class for solver-service (:mod:`repro.service`) failures."""
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected a request: the queue is at its bounded
+    depth.  Backpressure is explicit — the caller decides whether to
+    retry, shed, or slow down; the service never buffers unboundedly."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline passed before a worker could serve it; the
+    request was dropped from the queue without being solved."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is stopped (or stopping) and accepts no new requests."""

@@ -94,6 +94,34 @@ def test_every_cli_flag_is_documented():
             assert flag in corpus, f"`repro {sub} {flag}` is undocumented"
 
 
+def test_service_flags_agree_with_docs():
+    """Both directions for the serve/bench-service pair: every flag the
+    parser accepts appears in the docs corpus, and the docs demonstrate
+    the commands with real flags (checked by test_docs_reference_real_cli
+    for validity; here for presence)."""
+    spec = _cli_spec()
+    assert "serve" in spec and "bench-service" in spec
+    # the service-specific knobs exist on the parser...
+    assert {"--service-workers", "--max-queue", "--max-batch",
+            "--cache-mb", "--warm-dir", "--deadline-ms",
+            "--clients", "--requests"} <= spec["serve"]
+    assert {"--clients", "--requests", "--max-batch",
+            "--smoke", "--label", "--out"} <= spec["bench-service"]
+
+    # ...every user-facing flag of both commands appears in the docs
+    corpus = "\n".join(p.read_text() for p in DOC_FILES)
+    for sub in ("serve", "bench-service"):
+        for flag in spec[sub] - {"-h", "--help"}:
+            assert flag in corpus, f"`repro {sub} {flag}` is undocumented"
+
+    # ...and the docs actually invoke both commands in fenced blocks
+    invoked = set()
+    for path in DOC_FILES:
+        for cmd, _rest in _repro_invocations(path.read_text()):
+            invoked.add(cmd)
+    assert {"serve", "bench-service"} <= invoked
+
+
 def test_executor_flags_agree_with_docs():
     """The distributed-executor flags exist, with the documented choices,
     and the docs show them in actual invocations (not just prose)."""
