@@ -112,7 +112,45 @@ def _print_resilience(rep) -> None:
     print("resilience: " + ", ".join(parts))
 
 
+def _apply_config(args: argparse.Namespace) -> int:
+    """Overlay an emitted ``tune`` config.json onto the parsed namespace.
+
+    Only keys the subcommand actually defines are applied (``demo`` has
+    no ``--band``/``--executor``, so those entries are ignored there);
+    explicit command-line flags are overridden by the config — the file
+    is the single source of truth for a reproduced run.  Returns 2 on a
+    missing or unparsable path, 0 otherwise.
+    """
+    path = getattr(args, "config", None)
+    if path is None:
+        return 0
+    import json
+    from pathlib import Path
+
+    p = Path(path)
+    if not p.is_file():
+        print(f"error: --config {p} does not exist", file=sys.stderr)
+        return 2
+    try:
+        doc = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"error: --config {p} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict):
+        print(f"error: --config {p} must hold a JSON object",
+              file=sys.stderr)
+        return 2
+    for key, value in doc.items():
+        if hasattr(args, key):
+            setattr(args, key, value)
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
+    rc = _apply_config(args)
+    if rc:
+        return rc
     return _observed(args, lambda: _run_demo(args))
 
 
@@ -167,6 +205,8 @@ def _run_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    if args.from_run:
+        return _run_tune_sweep(args)
     from repro import TruncationRule, st_3d_exp_problem
     from repro.analysis import format_table
     from repro.core import tune_band_size
@@ -191,6 +231,108 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print(f"tuned BAND_SIZE = {decision.band_size} "
           f"(fluctuation={args.fluctuation}, box={decision.band_size_range})")
     return 0
+
+
+def _run_tune_sweep(args: argparse.Namespace) -> int:
+    """``tune --from-run``: the simulator-guided calibrate/sweep/verify loop."""
+    from pathlib import Path
+
+    from repro import perf
+    from repro.analysis import format_table
+    from repro.obs.analytics import load_run, render_prediction
+    from repro.tune import (
+        Calibration,
+        parse_grid,
+        sweep,
+        verify_prediction,
+    )
+    from repro.utils.exceptions import ConfigurationError
+
+    runs = []
+    for src in args.from_run:
+        if not (Path(src) / "events.jsonl").exists():
+            print(f"error: {src} is not an --obs run directory "
+                  f"(no events.jsonl)", file=sys.stderr)
+            return 2
+        runs.append(load_run(src))
+    try:
+        cal = Calibration.from_runs(runs, sources=tuple(args.from_run))
+        grid = parse_grid(args.grid) if args.grid else None
+        result = sweep(
+            cal,
+            grid=grid,
+            ntiles=args.target_nt,
+            workers=args.workers,
+            smoke=args.smoke,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = [
+        (i + 1, c.candidate.band_size, c.candidate.scheduler,
+         c.candidate.distribution, c.candidate.ranks, c.candidate.cores,
+         round(c.makespan_s * 1e3, 3), round(c.critical_path_s * 1e3, 3),
+         round(c.mean_occupancy, 3), round(c.bytes_sent / 2**20, 3),
+         c.messages)
+        for i, c in enumerate(result.candidates)
+    ]
+    print(format_table(
+        ["#", "band", "sched", "dist", "ranks", "cores", "makespan_ms",
+         "critpath_ms", "occupancy", "MiB_sent", "msgs"],
+        rows,
+        title=f"simulated sweep over {len(result.candidates)} candidates "
+              f"({result.rates_mode} rates, "
+              f"calibrated from {len(runs)} run(s))",
+    ))
+    w = result.winner.candidate
+    print(f"tuned BAND_SIZE = {w.band_size} via simulated makespan "
+          f"(Algorithm 1: {result.algorithm1_band}, "
+          f"window={result.fluctuation_window}); winner: "
+          f"scheduler={w.scheduler}, dist={w.distribution}, "
+          f"ranks={w.ranks}, cores={w.cores}")
+
+    rc = 0
+    if args.verify:
+        report = verify_prediction(
+            cal, result,
+            tolerance=args.tolerance,
+            obs_out=args.verify_obs,
+        )
+        result.verify = report.to_dict()
+        print()
+        print(render_prediction(report.accuracy))
+        print(f"factor digest: {report.factor_digest}")
+        if args.verify_obs:
+            print(f"re-run the gate with: python -m repro compare "
+                  f"{args.verify_obs}/predicted {args.verify_obs}/realized")
+        if report.gate_passed:
+            print(f"verify gate passed: |makespan err| "
+                  f"{abs(report.accuracy.makespan_rel_err):.3f} <= "
+                  f"{report.tolerance} and no kernel-class regression")
+        else:
+            print(f"FAIL: verify gate — makespan err "
+                  f"{report.accuracy.makespan_rel_err:+.3f} vs tolerance "
+                  f"{report.tolerance}, kernel-class regression="
+                  f"{report.diff_regressed}", file=sys.stderr)
+            rc = 1
+
+    if args.emit:
+        import json as _json
+
+        out = Path(args.emit)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(result.config(), indent=2) + "\n")
+        print(f"winning config written to {out}")
+        print(f"reproduce with: python -m repro execute --config {out}")
+    if args.report:
+        path = result.write(args.report)
+        print(f"ranked tune report written to {path}")
+    if args.out:
+        records = perf.records_from_tune(result)
+        path = perf.append_history(records, args.out)
+        print(f"{len(records)} tune record(s) appended to {path}")
+    return rc
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -244,6 +386,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_execute(args: argparse.Namespace) -> int:
+    rc = _apply_config(args)
+    if rc:
+        return rc
     return _observed(args, lambda: _run_execute(args))
 
 
@@ -351,6 +496,10 @@ def _run_execute(args: argparse.Namespace) -> int:
         title=f"real execution [{args.executor}]: "
               f"n={args.n}, b={args.tile}, band={args.band}",
     ))
+    if getattr(args, "config", None):
+        from repro.tune import factor_digest
+
+        print(f"factor digest: {factor_digest(matrix)}")
     if args.verify:
         l = matrix.to_dense(lower_only=True)
         a = problem.dense()
@@ -726,15 +875,65 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--obs", type=str, default=None, metavar="DIR",
                    help="record spans + metrics and write trace/summary/"
                         "Prometheus artifacts into DIR")
+    d.add_argument("--config", type=str, default=None, metavar="PATH",
+                   help="overlay a 'tune --emit' config.json (matching "
+                        "keys override the flags)")
     _add_resilience_args(d)
 
-    t = sub.add_parser("tune", help="run the BAND_SIZE auto-tuner")
+    t = sub.add_parser(
+        "tune",
+        help="BAND_SIZE auto-tuner: Algorithm 1's cost table, or — with "
+             "--from-run — the simulator-guided calibrate/sweep/verify "
+             "loop over band, scheduler, distribution and rank/core "
+             "counts",
+    )
     t.add_argument("--n", type=int, default=4050)
     t.add_argument("--tile", type=int, default=270)
     t.add_argument("--accuracy", type=float, default=1e-4)
     t.add_argument("--fluctuation", type=float, default=0.67)
     t.add_argument("--seed", type=int, default=0)
     t.add_argument("--rows", type=int, default=10)
+    t.add_argument("--from-run", action="append", default=None,
+                   metavar="DIR", dest="from_run",
+                   help="calibrate rank grid + kernel rates from a "
+                        "recorded --obs run directory (repeatable; runs "
+                        "of one geometry pool)")
+    t.add_argument("--grid", type=str, default=None, metavar="SPEC",
+                   help="candidate axes, e.g. 'band=1,2,3;scheduler="
+                        "priority,fifo;dist=band,2d;ranks=1,2;cores=2,4' "
+                        "(omitted axes keep defaults: fluctuation-window "
+                        "bands, all schedulers, band distribution, 1 "
+                        "rank, recorded worker count)")
+    t.add_argument("--target-nt", type=int, default=None, metavar="NT",
+                   help="sweep a different tile count than recorded "
+                        "(rank model extrapolates; rates switch to "
+                        "per-class GFLOP/s)")
+    t.add_argument("--verify", action="store_true",
+                   help="execute the winning config for real and gate "
+                        "predicted-vs-realized makespan through the "
+                        "--tolerance plus the dual relative+IQR "
+                        "kernel-class rule (exit 1 on failure)")
+    t.add_argument("--tolerance", type=float, default=0.5,
+                   help="relative makespan error the verify gate "
+                        "accepts (see docs/tuning.md for methodology)")
+    t.add_argument("--smoke", action="store_true",
+                   help="trim the grid for CI runners (<=3 bands, "
+                        "priority+fifo schedulers)")
+    t.add_argument("--workers", type=int, default=None,
+                   help="threads evaluating sweep candidates in "
+                        "parallel (default: min(candidates, 8))")
+    t.add_argument("--emit", type=str, default=None, metavar="PATH",
+                   help="write the winning config as JSON consumable "
+                        "by 'execute --config PATH'")
+    t.add_argument("--report", type=str, default=None, metavar="PATH",
+                   help="write the full ranked TuneResult as JSON")
+    t.add_argument("--verify-obs", type=str, default=None, metavar="DIR",
+                   help="with --verify: write predicted/ and realized/ "
+                        "--obs artifact directories under DIR for "
+                        "standalone 'repro compare'")
+    t.add_argument("--out", type=str, default=None, metavar="PATH",
+                   help="append tune records (predicted + realized "
+                        "makespan) to this bench history")
 
     s = sub.add_parser("simulate", help="replay a Cholesky DAG on the simulator")
     s.add_argument("--nt", type=int, default=48)
@@ -807,6 +1006,10 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--obs", type=str, default=None, metavar="DIR",
                    help="record spans + metrics and write trace/summary/"
                         "Prometheus artifacts into DIR")
+    e.add_argument("--config", type=str, default=None, metavar="PATH",
+                   help="overlay a 'tune --emit' config.json (matching "
+                        "keys override the flags) and print the factor "
+                        "digest for bitwise-reproduction checks")
     _add_resilience_args(e)
 
     r = sub.add_parser(

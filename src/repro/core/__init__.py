@@ -5,8 +5,11 @@ from .autotuner import (
     BandSizeDecision,
     SubdiagonalCost,
     autotune_matrix,
+    band_candidates,
     subdiagonal_costs,
     subdiagonal_maxranks,
+    sweep_band_by_flops,
+    tie_break_band,
     tune_band_size,
 )
 from .densify import (
@@ -27,6 +30,9 @@ __all__ = [
     "SubdiagonalCost",
     "tune_band_size",
     "autotune_matrix",
+    "band_candidates",
+    "tie_break_band",
+    "sweep_band_by_flops",
     "subdiagonal_costs",
     "subdiagonal_maxranks",
     "FactorizationReport",

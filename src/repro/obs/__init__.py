@@ -39,13 +39,16 @@ import time
 from contextlib import contextmanager
 
 from .analytics import (
+    PredictionAccuracy,
     RunTrace,
     critical_path,
     flop_attribution,
     load_run,
     occupancy,
+    prediction_accuracy,
     render_analysis,
     render_diff,
+    render_prediction,
     run_from_observation,
     trace_diff,
 )
@@ -76,6 +79,7 @@ __all__ = [
     "sample",
     "kernel_observed",
     "pool_observed",
+    "graph_document",
     "graph_observed",
     "Tracer",
     "NullTracer",
@@ -92,8 +96,11 @@ __all__ = [
     "occupancy",
     "flop_attribution",
     "trace_diff",
+    "PredictionAccuracy",
+    "prediction_accuracy",
     "render_analysis",
     "render_diff",
+    "render_prediction",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_graph_json",
@@ -309,19 +316,16 @@ def kernel_observed(kernel: str, flops: float, count: int = 1) -> None:
         ob.metrics.counter("kernel_invocations", kernel=kernel).inc(count)
 
 
-def graph_observed(graph, task_name) -> None:
-    """Register the executing :class:`~repro.runtime.graph.TaskGraph`.
+def graph_document(graph, task_name) -> dict:
+    """The JSON-ready dependency document for a task graph.
 
-    Called by both graph executors before dispatch.  Stores a
-    JSON-ready document keyed by the executors' *span names* (via the
-    shared ``task_name`` mapping) so the analytics layer can join task
-    spans with dependency edges; written to ``graph.json`` by
-    :meth:`Observation.write`.  Duck-typed (graph/tasks/deps attribute
-    access only) so :mod:`repro.obs` keeps zero intra-repro imports.
+    Keyed by the executors' *span names* (via the shared ``task_name``
+    mapping) so the analytics layer can join task spans with dependency
+    edges.  Duck-typed (graph/tasks/deps attribute access only) so
+    :mod:`repro.obs` keeps zero intra-repro imports.  Used by
+    :func:`graph_observed` for recorded runs and by the autotuner to
+    build *predicted* :class:`RunTrace` objects from simulator output.
     """
-    ob = active()
-    if ob is None:
-        return
     tasks = {}
     for tid, task in graph.tasks.items():
         tasks[task_name(tid)] = {
@@ -331,13 +335,26 @@ def graph_observed(graph, task_name) -> None:
             "out_tile": list(task.out_tile),
             "deps": sorted({task_name(e.src) for e in task.deps}),
         }
-    ob.graph = {
+    return {
         "ntiles": getattr(graph, "ntiles", None),
         "band_size": getattr(graph, "band_size", None),
         "tile_size": getattr(graph, "tile_size", None),
         "n_tasks": len(tasks),
         "tasks": tasks,
     }
+
+
+def graph_observed(graph, task_name) -> None:
+    """Register the executing :class:`~repro.runtime.graph.TaskGraph`.
+
+    Called by both graph executors before dispatch.  Stores the
+    :func:`graph_document`; written to ``graph.json`` by
+    :meth:`Observation.write`.
+    """
+    ob = active()
+    if ob is None:
+        return
+    ob.graph = graph_document(graph, task_name)
 
 
 def pool_observed(stats, pool: str) -> None:

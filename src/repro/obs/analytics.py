@@ -49,8 +49,11 @@ __all__ = [
     "occupancy",
     "flop_attribution",
     "trace_diff",
+    "PredictionAccuracy",
+    "prediction_accuracy",
     "render_analysis",
     "render_diff",
+    "render_prediction",
 ]
 
 #: Region-(1) kernel classes — the all-dense band work (Table I).
@@ -525,6 +528,113 @@ def trace_diff(
         head_wall_s=head.wall_s,
         threshold=threshold,
     )
+
+
+# ----------------------------------------------------------------------
+# Prediction accuracy (simulator vs realized run)
+# ----------------------------------------------------------------------
+@dataclass
+class PredictionAccuracy:
+    """How well a simulated (predicted) trace matched a realized one.
+
+    Both sides are :class:`RunTrace` objects over the *same* task graph
+    — the predicted one replays DES spans, the realized one records an
+    actual execution.  Errors are signed, predicted-relative-to-realized
+    (``(pred - real) / real``; positive = the simulator over-estimated).
+    Makespans compare task windows (:attr:`RunTrace.window_s`), not full
+    wall clocks, so assembly/compression outside the graph never counts
+    against the scheduler model.
+    """
+
+    predicted_makespan_s: float
+    realized_makespan_s: float
+    predicted_cp_s: float
+    realized_cp_s: float
+    predicted_occupancy: float
+    realized_occupancy: float
+    kernel_median_ratio: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan_rel_err(self) -> float:
+        if self.realized_makespan_s <= 0:
+            return float("inf") if self.predicted_makespan_s > 0 else 0.0
+        return (
+            self.predicted_makespan_s - self.realized_makespan_s
+        ) / self.realized_makespan_s
+
+    @property
+    def cp_rel_err(self) -> float:
+        if self.realized_cp_s <= 0:
+            return float("inf") if self.predicted_cp_s > 0 else 0.0
+        return (self.predicted_cp_s - self.realized_cp_s) / self.realized_cp_s
+
+    @property
+    def occupancy_abs_err(self) -> float:
+        return self.predicted_occupancy - self.realized_occupancy
+
+    def within(self, tolerance: float) -> bool:
+        """True when the makespan prediction error is inside ``tolerance``."""
+        return abs(self.makespan_rel_err) <= tolerance
+
+
+def prediction_accuracy(
+    predicted: RunTrace, realized: RunTrace
+) -> PredictionAccuracy:
+    """Quantify a DES prediction against a realized run's trace.
+
+    Critical paths need a dependency graph on each side; a side without
+    one reports 0 (and the relative error degrades gracefully).
+    """
+
+    def cp_len(run: RunTrace) -> float:
+        if run.graph is None or not run.tasks:
+            return 0.0
+        return critical_path(run).length_s
+
+    def occ(run: RunTrace) -> float:
+        if not run.tasks:
+            return 0.0
+        return occupancy(run).mean_occupancy
+
+    pred_rates = flop_attribution(predicted)
+    real_rates = flop_attribution(realized)
+    ratios: dict[str, float] = {}
+    for kernel in sorted(set(pred_rates) & set(real_rates)):
+        rm = real_rates[kernel].median_s
+        if rm > 0:
+            ratios[kernel] = pred_rates[kernel].median_s / rm
+    return PredictionAccuracy(
+        predicted_makespan_s=predicted.window_s,
+        realized_makespan_s=realized.window_s,
+        predicted_cp_s=cp_len(predicted),
+        realized_cp_s=cp_len(realized),
+        predicted_occupancy=occ(predicted),
+        realized_occupancy=occ(realized),
+        kernel_median_ratio=ratios,
+    )
+
+
+def render_prediction(acc: PredictionAccuracy, *, width: int = 80) -> str:
+    """Text report of one predicted-vs-realized comparison."""
+    lines = ["prediction accuracy", "-------------------"]
+    lines.append(
+        f"makespan: predicted {acc.predicted_makespan_s:.4f} s  "
+        f"realized {acc.realized_makespan_s:.4f} s  "
+        f"err {acc.makespan_rel_err * 100:+.1f}%"
+    )
+    lines.append(
+        f"critical path: predicted {acc.predicted_cp_s:.4f} s  "
+        f"realized {acc.realized_cp_s:.4f} s  "
+        f"err {acc.cp_rel_err * 100:+.1f}%"
+    )
+    lines.append(
+        f"occupancy: predicted {acc.predicted_occupancy * 100:.1f}%  "
+        f"realized {acc.realized_occupancy * 100:.1f}%  "
+        f"err {acc.occupancy_abs_err * 100:+.1f} pts"
+    )
+    for kernel, ratio in acc.kernel_median_ratio.items():
+        lines.append(f"  {kernel:<14} median pred/real x{ratio:5.2f}")
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------

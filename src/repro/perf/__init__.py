@@ -33,6 +33,7 @@ from .harness import (
     load_history,
     measure,
     records_for_run,
+    records_from_tune,
     run_suite,
     runs_in_history,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "load_history",
     "runs_in_history",
     "records_for_run",
+    "records_from_tune",
     "latest_run",
     "BenchDelta",
     "CompareResult",

@@ -44,6 +44,7 @@ __all__ = [
     "runs_in_history",
     "records_for_run",
     "latest_run",
+    "records_from_tune",
     "default_suite",
     "run_suite",
 ]
@@ -222,6 +223,55 @@ def latest_run(records: list[BenchRecord]) -> list[BenchRecord]:
     if not runs:
         return []
     return records_for_run(records, runs[-1])
+
+
+def records_from_tune(
+    result, *, run: str | None = None, label: str | None = None
+) -> list[BenchRecord]:
+    """Bench-history records of one autotuning result (the TuneRecord).
+
+    Persists the winner's *predicted* makespan — and, when the result
+    was verified, the *realized* one — so ``BENCH_history.jsonl``
+    tracks the tuner's selections over time and ``repro compare`` can
+    gate a tuner change exactly like any other perf change.  ``result``
+    is a :class:`repro.tune.TuneResult`.
+    """
+    run = run or label or time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    ts = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    winner = result.winner
+    config = {
+        **result.config(),
+        "rates_mode": result.rates_mode,
+        "algorithm1_band": result.algorithm1_band,
+        "candidates": len(result.candidates),
+    }
+    records = [
+        BenchRecord(
+            name="tune_predicted_makespan",
+            run=run,
+            timing=Timing(times_s=(winner.makespan_s,)),
+            config=config,
+            ts=ts,
+            warmup=0,
+        )
+    ]
+    if result.verify is not None:
+        realized = float(result.verify.get("realized_makespan_s", 0.0))
+        if realized > 0.0:
+            records.append(
+                BenchRecord(
+                    name="tune_realized_makespan",
+                    run=run,
+                    timing=Timing(times_s=(realized,)),
+                    config={
+                        **config,
+                        "gate_passed": bool(result.verify.get("gate_passed")),
+                    },
+                    ts=ts,
+                    warmup=0,
+                )
+            )
+    return records
 
 
 # ----------------------------------------------------------------------

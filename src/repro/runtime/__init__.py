@@ -6,6 +6,7 @@ from .calibration import (
     measure_dense_gflops,
     measure_lr_efficiency,
     rates_from_run,
+    rates_from_runs,
 )
 from .dataflow import DataflowBreakdown, classify_dataflow, to_dot
 from .distributed import (
@@ -44,7 +45,7 @@ from .resilience import (
     RecoveryPolicy,
     ResilienceReport,
 )
-from .simulator import CommStats, SimResult, simulate
+from .simulator import CommStats, SimResult, simulate, simulate_schedule
 from .solve_graph import SolveKind, build_solve_graph
 from .task import Edge, EdgeKind, Task, TaskKind, task_sort_key
 from .workpool import parallel_map
@@ -59,6 +60,7 @@ __all__ = [
     "measure_lr_efficiency",
     "MeasuredRates",
     "rates_from_run",
+    "rates_from_runs",
     "DistributedExecutionReport",
     "binomial_children",
     "execute_graph_distributed",
@@ -100,6 +102,7 @@ __all__ = [
     "CommStats",
     "SimResult",
     "simulate",
+    "simulate_schedule",
     "SolveKind",
     "build_solve_graph",
     "Task",

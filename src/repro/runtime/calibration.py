@@ -27,6 +27,7 @@ __all__ = [
     "calibrate_machine",
     "MeasuredRates",
     "rates_from_run",
+    "rates_from_runs",
 ]
 
 
@@ -111,10 +112,17 @@ class MeasuredRates:
 
     durations: dict[str, float] = field(default_factory=dict)
     fallback_gflops: float = 10.0
+    class_gflops: dict[str, float] = field(default_factory=dict)
+    extrapolate: bool = False
 
     def seconds(self, kernel, flops: float, b: int, k: int) -> float:
         """Median measured duration of ``kernel``; flops-based fallback."""
-        d = self.durations.get(getattr(kernel, "value", str(kernel)))
+        name = getattr(kernel, "value", str(kernel))
+        if self.extrapolate:
+            g = self.class_gflops.get(name)
+            if g and g > 0.0 and flops > 0.0:
+                return flops / (g * 1e9)
+        d = self.durations.get(name)
         if d is not None:
             return d
         if flops <= 0.0:
@@ -122,7 +130,9 @@ class MeasuredRates:
         return flops / (self.fallback_gflops * 1e9)
 
 
-def rates_from_run(run) -> MeasuredRates:
+def rates_from_run(
+    run, *, extrapolate: bool = False, stat: str = "median"
+) -> MeasuredRates:
     """Build :class:`MeasuredRates` from a loaded run trace.
 
     ``run`` is an :class:`~repro.obs.analytics.RunTrace` (from
@@ -130,13 +140,65 @@ def rates_from_run(run) -> MeasuredRates:
     whose task spans carry ``kernel`` annotations — any graph-executor
     run recorded under :func:`repro.obs.observe` qualifies.
     """
+    return rates_from_runs([run], extrapolate=extrapolate, stat=stat)
+
+
+def rates_from_runs(
+    runs, *, extrapolate: bool = False, stat: str = "median"
+) -> MeasuredRates:
+    """Pool several recorded runs into one :class:`MeasuredRates`.
+
+    Per-kernel-class durations from all runs are merged before taking
+    the summary statistic, and per-class GFLOP/s (``class_gflops``) is
+    computed from the pooled flops/seconds totals.  With
+    ``extrapolate=False`` (the default) ``seconds`` replays the pooled
+    per-class duration — the right mode when the sweep targets the
+    *recorded* geometry.  With ``extrapolate=True`` the per-class
+    throughput scales durations with each task's modelled flops — the
+    right mode when tuning for a *different* N or tile size than was
+    recorded.
+
+    ``stat`` selects the replayed statistic: ``"median"`` (default)
+    makes predicted and realized per-kernel *medians* agree by
+    construction — what a trace diff compares; ``"mean"`` makes the
+    simulated *aggregate busy time* match the recorded one — what a
+    makespan prediction needs, because measured task durations are
+    right-skewed (preemption and cache pollution only ever slow a task
+    down), so Σ medians undershoots Σ durations by the skew factor.
+    The autotuner calibrates with ``"mean"`` for exactly that reason
+    (see docs/tuning.md).
+    """
     from ..obs.analytics import flop_attribution
 
-    rates = flop_attribution(run)
+    if not runs:
+        raise ValueError("rates_from_runs needs at least one run")
+    if stat not in ("median", "mean"):
+        raise ValueError(f"stat must be 'median' or 'mean', got {stat!r}")
+    pooled_durations: dict[str, list[float]] = {}
+    pooled_flops: dict[str, float] = {}
+    pooled_secs: dict[str, float] = {}
+    for run in runs:
+        for kernel, r in flop_attribution(run).items():
+            pooled_durations.setdefault(kernel, []).extend(r.durations)
+            pooled_flops[kernel] = pooled_flops.get(kernel, 0.0) + r.flops
+            pooled_secs[kernel] = pooled_secs.get(kernel, 0.0) + r.seconds
+    summarize = np.median if stat == "median" else np.mean
     durations = {
-        kernel: r.median_s for kernel, r in rates.items() if r.durations
+        kernel: float(summarize(ds))
+        for kernel, ds in pooled_durations.items()
+        if ds
     }
-    total_flops = sum(r.flops for r in rates.values())
-    total_secs = sum(r.seconds for r in rates.values())
+    class_gflops = {
+        kernel: pooled_flops[kernel] / pooled_secs[kernel] / 1e9
+        for kernel in pooled_flops
+        if pooled_secs.get(kernel, 0.0) > 0.0 and pooled_flops[kernel] > 0.0
+    }
+    total_flops = sum(pooled_flops.values())
+    total_secs = sum(pooled_secs.values())
     fallback = total_flops / total_secs / 1e9 if total_secs > 0 else 10.0
-    return MeasuredRates(durations=durations, fallback_gflops=fallback)
+    return MeasuredRates(
+        durations=durations,
+        fallback_gflops=fallback,
+        class_gflops=class_gflops,
+        extrapolate=extrapolate,
+    )

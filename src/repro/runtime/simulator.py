@@ -35,7 +35,10 @@ from .graph import TaskGraph
 from .machine import MachineSpec
 from .task import TaskKind, task_sort_key
 
-__all__ = ["CommStats", "SimResult", "simulate"]
+__all__ = ["CommStats", "SimResult", "simulate", "simulate_schedule"]
+
+#: Distribution variants a sweep can name (see :func:`simulate_schedule`).
+DISTRIBUTION_NAMES = ("band", "2d", "1d")
 
 _BYTES = 8  # float64
 
@@ -425,6 +428,64 @@ def simulate(
         trace=trace,
         busy_by_kernel=busy_by_kernel,
         gpu_busy=gpu_busy if machine.gpus_per_node > 0 else None,
+    )
+
+
+def simulate_schedule(
+    graph: TaskGraph,
+    *,
+    ranks: int = 1,
+    cores: int = 1,
+    rates=None,
+    scheduler: str = "priority",
+    distribution: str = "band",
+    collect_trace: bool = False,
+    **machine_kwargs,
+) -> SimResult:
+    """Sweep-friendly front end to :func:`simulate`.
+
+    Builds the distribution and machine from scalar sweep coordinates —
+    a named distribution variant (``"band"``: the paper's hybrid band +
+    2DBCDD at the graph's band size; ``"2d"``: plain 2DBCDD; ``"1d"``:
+    row-wise 1DBCDD), a process/core count, and an optional rates object
+    (:class:`~repro.runtime.calibration.MeasuredRates` or a
+    :class:`~repro.runtime.machine.KernelRateModel`) — so an autotuner
+    can evaluate one candidate per call without repeating the plumbing.
+    """
+    from ..distribution.distributions import (
+        BandDistribution,
+        OneDBlockCyclic,
+        TwoDBlockCyclic,
+    )
+    from ..distribution.process_grid import ProcessGrid
+
+    if distribution not in DISTRIBUTION_NAMES:
+        raise SchedulingError(
+            f"distribution must be one of {DISTRIBUTION_NAMES}, "
+            f"got {distribution!r}"
+        )
+    if distribution == "band":
+        dist = BandDistribution(
+            ProcessGrid.squarest(ranks), band_size=graph.band_size
+        )
+    elif distribution == "2d":
+        dist = TwoDBlockCyclic(ProcessGrid.squarest(ranks))
+    else:
+        dist = OneDBlockCyclic(ranks, axis="row")
+    if rates is None:
+        machine = MachineSpec(
+            nodes=ranks, cores_per_node=cores, **machine_kwargs
+        )
+    else:
+        machine = MachineSpec(
+            nodes=ranks, cores_per_node=cores, rates=rates, **machine_kwargs
+        )
+    return simulate(
+        graph,
+        dist,
+        machine,
+        scheduler=scheduler,
+        collect_trace=collect_trace,
     )
 
 

@@ -1,0 +1,60 @@
+"""Simulator-guided autotuning (``repro.tune``).
+
+The closed loop ROADMAP item 5 asks for, as a library and a CLI
+subcommand (``python -m repro tune --from-run DIR``):
+
+1. **Calibrate** (:mod:`repro.tune.calibrate`) — recover the initial
+   rank grid and per-kernel-class rates from one or more recorded
+   ``--obs`` runs; fit a power-law rank model for extrapolation.
+2. **Sweep** (:mod:`repro.tune.sweep`) — evaluate BAND_SIZE (Algorithm
+   1's [0.67, 1] fluctuation window and beyond), scheduler policy,
+   distribution variant, and rank/core counts through the
+   discrete-event simulator in parallel; rank deterministically by
+   predicted makespan with the shared
+   :func:`repro.core.tie_break_band` tie-break.
+3. **Verify** (:mod:`repro.tune.verify`) — execute the winner for real
+   and gate predicted-vs-realized makespan/critical-path/occupancy
+   through the same dual relative+IQR rule as ``repro compare``.
+
+The winning configuration round-trips as JSON through
+``repro execute --config config.json``, which reproduces the
+factorization bitwise (the executors are deterministic across worker
+counts and schedulers).
+"""
+
+from .calibrate import Calibration, ranks_from_run
+from .sweep import (
+    SCHEDULERS,
+    CandidateReport,
+    TuneCandidate,
+    TuneGrid,
+    TuneResult,
+    default_bands,
+    parse_grid,
+    sweep,
+)
+from .verify import (
+    DEFAULT_TOLERANCE,
+    VerifyReport,
+    factor_digest,
+    predicted_run,
+    verify_prediction,
+)
+
+__all__ = [
+    "Calibration",
+    "ranks_from_run",
+    "SCHEDULERS",
+    "TuneCandidate",
+    "TuneGrid",
+    "parse_grid",
+    "CandidateReport",
+    "TuneResult",
+    "default_bands",
+    "sweep",
+    "DEFAULT_TOLERANCE",
+    "VerifyReport",
+    "predicted_run",
+    "factor_digest",
+    "verify_prediction",
+]

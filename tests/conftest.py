@@ -49,6 +49,14 @@ def small_tlr(small_problem, rule8):
     return BandTLRMatrix.from_problem(small_problem, rule8, band_size=1)
 
 
-@pytest.fixture(scope="session")
+@pytest.fixture()
 def rng():
+    """Fresh, pinned generator per test.
+
+    Function-scoped on purpose: a shared session-scope generator makes
+    each test's random draws depend on which tests ran before it, so the
+    suite only passes in one ordering.  A fresh ``default_rng(2021)``
+    per test keeps every test's draws identical under ``-x --lf``,
+    random ordering, and single-test invocation alike.
+    """
     return np.random.default_rng(2021)

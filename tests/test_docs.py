@@ -122,6 +122,38 @@ def test_service_flags_agree_with_docs():
     assert {"serve", "bench-service"} <= invoked
 
 
+def test_tune_flags_agree_with_docs():
+    """Both directions for the autotuner: every ``tune`` flag the parser
+    accepts appears in the docs corpus, and the docs demonstrate the
+    calibrate → sweep → verify workflow with real invocations."""
+    spec = _cli_spec()
+    # the sweep-specific knobs exist on the parser...
+    assert {"--from-run", "--grid", "--target-nt", "--verify",
+            "--tolerance", "--smoke", "--workers", "--emit", "--report",
+            "--verify-obs", "--out"} <= spec["tune"]
+    # ...and the config hand-off exists on both consumers
+    assert "--config" in spec["execute"]
+    assert "--config" in spec["demo"]
+
+    # every user-facing tune flag appears in the docs
+    corpus = "\n".join(p.read_text() for p in DOC_FILES)
+    for flag in spec["tune"] - {"-h", "--help"}:
+        assert flag in corpus, f"`repro tune {flag}` is undocumented"
+
+    # the docs actually demonstrate the loop: tune --from-run with
+    # --verify and --emit, and execute --config consuming the result
+    tune_flags, execute_flags = set(), set()
+    for path in DOC_FILES:
+        for cmd, rest in _repro_invocations(path.read_text()):
+            flags = set(re.findall(r"--[a-z][\w-]*", rest))
+            if cmd == "tune":
+                tune_flags |= flags
+            elif cmd == "execute":
+                execute_flags |= flags
+    assert {"--from-run", "--verify", "--emit"} <= tune_flags
+    assert "--config" in execute_flags
+
+
 def test_executor_flags_agree_with_docs():
     """The distributed-executor flags exist, with the documented choices,
     and the docs show them in actual invocations (not just prose)."""
