@@ -338,11 +338,11 @@ def _run_tune_sweep(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis import (
         format_table,
-        gantt,
         occupancy_summary,
         paper_rank_model,
     )
     from repro.core import tune_band_size
+    from repro.obs import gantt
     from repro.distribution import BandDistribution, ProcessGrid
     from repro.runtime import MachineSpec, build_cholesky_graph, simulate
 
@@ -396,9 +396,9 @@ def _run_execute(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro import TruncationRule, st_3d_exp_problem
-    from repro.analysis import format_table, gantt, occupancy_summary
-    from repro.analysis.tracing import export_chrome_trace
+    from repro.analysis import format_table, occupancy_summary
     from repro.core import tlr_cholesky
+    from repro.obs import gantt, write_chrome_trace
     from repro.matrix import BandTLRMatrix
     from repro.runtime import build_cholesky_graph, get_executor
 
@@ -437,7 +437,9 @@ def _run_execute(args: argparse.Namespace) -> int:
 
     want_trace = args.gantt or args.trace is not None
     if args.executor == "processes":
-        ex = get_executor("processes", n_ranks=args.ranks)
+        ex = get_executor(
+            "processes", n_ranks=args.ranks, shard_dir=args.shards
+        )
     else:
         ex = get_executor(
             "threads", n_workers=args.workers, scheduler=args.scheduler
@@ -480,6 +482,15 @@ def _run_execute(args: argparse.Namespace) -> int:
         ]
         if res.rank_restarts:
             rows.append(("rank restarts", res.rank_restarts))
+        if res.shard_merge is not None:
+            m = res.shard_merge
+            rows += [
+                ("obs shards merged", m.n_shards),
+                ("merged spans", m.merged_spans),
+                ("span conservation",
+                 "ok" if m.conserved else "VIOLATED"),
+                ("comm edges realized", m.comm_edges),
+            ]
     if res.resilience is not None:
         rows.append(("task retries", res.resilience.retries))
         rows.append(("tasks recovered", res.resilience.recoveries))
@@ -509,8 +520,14 @@ def _run_execute(args: argparse.Namespace) -> int:
         print()
         print(gantt(res, width=args.width))
     if args.trace is not None:
-        out = export_chrome_trace(res, args.trace)
+        out = write_chrome_trace(res, args.trace)
         print(f"Chrome trace written to {out}")
+    if args.executor == "processes" and res.shard_merge is not None:
+        print(f"merged cross-rank trace: {res.shard_merge.out_path}")
+        if not res.shard_merge.conserved:
+            print("error: merged trace lost spans (conservation check "
+                  "failed)", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -526,7 +543,8 @@ def _execute_sim(args: argparse.Namespace, graph) -> int:
     scheduling/communication model error from kernel-rate error.
     """
     from repro import obs
-    from repro.analysis import format_table, gantt
+    from repro.analysis import format_table
+    from repro.obs import gantt
     from repro.runtime import MachineSpec, SimExecutor, rates_from_run
     from repro.runtime.task import task_name
 
@@ -679,10 +697,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return _observed(args, lambda: _run_serve(args))
 
 
+def _parse_listen(spec: str) -> tuple[str, int]:
+    """``--listen`` values: ``HOST:PORT`` or a bare ``PORT`` (port 0 = OS
+    picks a free one)."""
+    host, _, port = spec.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"listen address must be HOST:PORT or PORT, got {spec!r}"
+        ) from None
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from repro import st_3d_exp_problem
     from repro.analysis import format_table
+    from repro.obs import LiveAggregator, MonitoringServer, parse_slo
     from repro.service import ServiceConfig, SolverService, run_load
+
+    live = None
+    monitor = None
+    if args.listen is not None or args.slo is not None:
+        try:
+            slo = parse_slo(args.slo) if args.slo is not None else None
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        live = LiveAggregator(slo=slo)
+        live.start()
+        if args.listen is not None:
+            monitor = MonitoringServer(live, host=args.listen[0],
+                                       port=args.listen[1])
+            monitor.start()
+            print(f"monitoring plane on {monitor.url} "
+                  f"(/metrics /healthz /stats)")
 
     problem = st_3d_exp_problem(args.n, args.tile, seed=args.seed)
     config = ServiceConfig(
@@ -701,27 +751,37 @@ def _run_serve(args: argparse.Namespace) -> int:
           f"eps={args.accuracy:g} [{args.compression}] "
           f"precision={args.precision}: {config.n_workers} workers, "
           f"queue<={config.max_queue_depth}, batch<={config.max_batch}")
-    with SolverService(config) as svc:
-        session = svc.session(
-            problem,
-            accuracy=args.accuracy,
-            band_size=args.band,
-            compression=args.compression,
-            precision=args.precision,
-        )
-        t0 = time.perf_counter()
-        entry = session.warm()
-        print(f"factor resident in {time.perf_counter() - t0:.2f}s "
-              f"({entry.nbytes / 2**20:.1f} MiB, key "
-              f"{session.key.digest()}, precision "
-              f"{entry.realized_precision})")
-        report = run_load(
-            session,
-            clients=args.clients,
-            requests_per_client=args.requests,
-            seed=args.seed,
-        )
-        stats = svc.stats()
+    try:
+        with SolverService(config, live=live) as svc:
+            session = svc.session(
+                problem,
+                accuracy=args.accuracy,
+                band_size=args.band,
+                compression=args.compression,
+                precision=args.precision,
+            )
+            t0 = time.perf_counter()
+            entry = session.warm()
+            print(f"factor resident in {time.perf_counter() - t0:.2f}s "
+                  f"({entry.nbytes / 2**20:.1f} MiB, key "
+                  f"{session.key.digest()}, precision "
+                  f"{entry.realized_precision})")
+            report = run_load(
+                session,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                seed=args.seed,
+            )
+            stats = svc.stats()
+            if args.linger > 0 and monitor is not None:
+                print(f"lingering {args.linger:g}s for live scrapes "
+                      f"({monitor.url})")
+                time.sleep(args.linger)
+    finally:
+        if monitor is not None:
+            monitor.stop()
+        if live is not None:
+            live.stop()
     cache = stats.cache
     print(format_table(
         ["metric", "value"],
@@ -746,6 +806,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         title=f"solver service: {report.completed} solves, "
               f"{stats.batches} batches",
     ))
+    if live is not None:
+        health = live.health()
+        print(f"final health: {health['status']}"
+              + (f" ({health['note']})" if "note" in health else ""))
+        if health["status"] == "failing":
+            return 1
     return 0
 
 
@@ -820,6 +886,46 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
         print(f"full gate passed: {ratio:.2f}x >= 1.5x")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import run_top
+
+    return run_top(
+        args.url,
+        interval=args.interval,
+        iterations=args.iterations,
+        once=args.once,
+    )
+
+
+def _cmd_obs_merge(args: argparse.Namespace) -> int:
+    from repro.obs import merge_shards
+
+    try:
+        report = merge_shards(args.shards, out=args.out)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    offsets = ", ".join(
+        f"rank{r}={off * 1e3:+.3f}ms" for r, off in sorted(report.offsets_s.items())
+    )
+    print(f"merged {report.n_shards} shard(s), {report.merged_spans} spans, "
+          f"{report.comm_edges} comm edges -> {report.out_path}")
+    print(f"clock offsets: {offsets}")
+    print(f"makespan (aligned): {report.makespan_s:.4f}s")
+    if report.comm_unmatched:
+        print(f"warning: {report.comm_unmatched} comm edge(s) unmatched",
+              file=sys.stderr)
+    if not report.conserved:
+        shard_total = sum(report.shard_spans.values())
+        print(f"error: span conservation violated: merged "
+              f"{report.merged_spans} != shard total {shard_total}",
+              file=sys.stderr)
+        return 1
+    print("span conservation: ok "
+          f"(merged == {sum(report.shard_spans.values())} shard spans)")
     return 0
 
 
@@ -1003,6 +1109,12 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--width", type=int, default=100)
     e.add_argument("--trace", type=str, default=None, metavar="PATH",
                    help="write a Chrome-tracing JSON of the real run")
+    e.add_argument("--shards", type=str, default=None, metavar="DIR",
+                   help="with --executor processes: each rank writes a "
+                        "clock-synced observation shard into DIR and the "
+                        "controller merges them into one cross-rank "
+                        "Chrome trace (trace_merged.json) with per-rank "
+                        "lanes and realized comm edges")
     e.add_argument("--obs", type=str, default=None, metavar="DIR",
                    help="record spans + metrics and write trace/summary/"
                         "Prometheus artifacts into DIR")
@@ -1110,6 +1222,44 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--obs", type=str, default=None, metavar="DIR",
                    help="record spans + metrics and write trace/summary/"
                         "Prometheus artifacts into DIR")
+    v.add_argument("--listen", type=_parse_listen, default=None,
+                   metavar="HOST:PORT",
+                   help="expose the live monitoring plane over HTTP: "
+                        "/metrics (Prometheus exposition), /healthz "
+                        "(SLO state), /stats (JSON); port 0 picks a "
+                        "free port")
+    v.add_argument("--slo", type=str, default=None, metavar="SPEC",
+                   help="serving objective evaluated over the rolling "
+                        "window, e.g. 'error-rate=0.01,p99-ms=50,"
+                        "window=60'; /healthz returns 503 (and the "
+                        "command exits 1) when it burns at >2x budget")
+    v.add_argument("--linger", type=float, default=0.0, metavar="SECONDS",
+                   help="keep the monitoring endpoints up SECONDS after "
+                        "the load completes (CI scrapes, repro top)")
+
+    tp = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a running 'serve --listen' "
+             "monitoring plane",
+    )
+    tp.add_argument("url", help="monitoring base URL, e.g. "
+                                "http://127.0.0.1:9100")
+    tp.add_argument("--interval", type=float, default=1.0,
+                    help="seconds between refreshes")
+    tp.add_argument("--iterations", type=int, default=None, metavar="N",
+                    help="stop after N refreshes (default: until ^C)")
+    tp.add_argument("--once", action="store_true",
+                    help="render a single snapshot and exit")
+
+    om = sub.add_parser(
+        "obs-merge",
+        help="merge per-rank observation shards (execute --shards DIR) "
+             "into one clock-aligned cross-rank Chrome trace",
+    )
+    om.add_argument("shards", help="directory of shard-rank*.json files")
+    om.add_argument("-o", "--out", type=str, default=None, metavar="PATH",
+                    help="merged trace path (default: "
+                         "SHARDS/trace_merged.json)")
 
     bs = sub.add_parser(
         "bench-service",
@@ -1155,6 +1305,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "compare": _cmd_compare,
         "serve": _cmd_serve,
+        "top": _cmd_top,
+        "obs-merge": _cmd_obs_merge,
         "bench-service": _cmd_bench_service,
     }
     return handlers[args.command](args)

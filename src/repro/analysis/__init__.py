@@ -5,7 +5,6 @@ from .feasibility import (
     footprint_per_node_gb,
     max_feasible_matrix_size,
 )
-from .gantt import gantt, utilization_timeline
 from .metrics import (
     OccupancySummary,
     occupancy_summary,
@@ -22,16 +21,12 @@ from .ranks import (
     rank_stats,
     render_rank_grid,
 )
-from .tracing import export_chrome_trace
 from .report import format_series, format_table, write_csv
 
 __all__ = [
     "FeasibilityReport",
     "footprint_per_node_gb",
     "max_feasible_matrix_size",
-    "gantt",
-    "utilization_timeline",
-    "export_chrome_trace",
     "RankModel",
     "RankStats",
     "rank_stats",

@@ -53,15 +53,28 @@ from .analytics import (
     trace_diff,
 )
 from .exporters import (
+    assign_lanes,
+    gantt,
     prometheus_text,
+    utilization_timeline,
     write_chrome_trace,
     write_events_jsonl,
     write_graph_json,
     write_prometheus,
     write_summary_json,
 )
+from .httpd import (
+    MonitoringServer,
+    parse_prometheus_text,
+    render_top,
+    run_top,
+    snapshot_prometheus_text,
+)
+from .live import LiveAggregator, Slo, parse_slo
+from .merge import MergeReport, load_shards, merge_shards
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
 from .report import load_summary, render_report
+from .sketch import LogHistogram
 from .tracer import NULL_SPAN, NullTracer, SpanRecord, Tracer
 
 __all__ = [
@@ -109,6 +122,21 @@ __all__ = [
     "prometheus_text",
     "load_summary",
     "render_report",
+    "assign_lanes",
+    "gantt",
+    "utilization_timeline",
+    "LogHistogram",
+    "LiveAggregator",
+    "Slo",
+    "parse_slo",
+    "MonitoringServer",
+    "snapshot_prometheus_text",
+    "parse_prometheus_text",
+    "render_top",
+    "run_top",
+    "MergeReport",
+    "load_shards",
+    "merge_shards",
 ]
 
 

@@ -22,11 +22,15 @@ import json
 import re
 from pathlib import Path
 
+import numpy as np
+
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
 from .tracer import Tracer
 
 __all__ = [
     "assign_lanes",
+    "gantt",
+    "utilization_timeline",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_graph_json",
@@ -60,7 +64,8 @@ def assign_lanes(trace) -> list[tuple[tuple, int, int, float, float]]:
 
     Returns ``(tid, proc, lane, start, end)`` rows sorted by process and
     start time; the single source of the lane scheme shared by the
-    Chrome exporter and :func:`repro.analysis.gantt.gantt`.
+    Chrome exporter, :func:`gantt`, and the cross-rank shard merger
+    (:mod:`repro.obs.merge`).
     """
     lanes: dict[int, list[float]] = {}
     rows = []
@@ -78,13 +83,105 @@ def assign_lanes(trace) -> list[tuple[tuple, int, int, float, float]]:
 
 
 # ----------------------------------------------------------------------
+# Text-mode trace views (Gantt chart, utilization timeline)
+# ----------------------------------------------------------------------
+#: One-character glyph per kernel class for the Gantt cells, keyed by
+#: the TaskKind *value* so this module stays free of runtime imports.
+_GLYPH = {"potrf": "P", "trsm": "T", "syrk": "S", "gemm": "g"}
+
+
+def _kind_value(tid) -> str:
+    head = tid[0]
+    return head.value if hasattr(head, "value") else str(head)
+
+
+def _require_trace(result) -> list[tuple]:
+    if getattr(result, "trace", None) is None:
+        raise ValueError(
+            "result has no trace; run with collect_trace=True"
+        )
+    return result.trace
+
+
+def gantt(result, *, width: int = 80, max_rows: int = 32) -> str:
+    """Render a tuple trace as one text row per busy process-core.
+
+    Accepts any result with a ``(tid, proc, start, end)`` ``trace`` and
+    a ``makespan`` (``SimResult``, ``ParallelExecutionReport``,
+    ``DistributedExecutionReport``).  Tasks are assigned to core lanes
+    greedily in start order via :func:`assign_lanes` — the same scheme
+    the Chrome exporter uses, so both views agree.  ``.`` marks idle
+    buckets; letters mark the task class covering the bucket
+    (``P``\\ OTRF, ``T``\\ RSM, ``S``\\ YRK, ``g``\\ EMM).
+
+    Raises :class:`ValueError` when the result carries no trace
+    (``collect_trace`` was off) — same contract as
+    :func:`write_chrome_trace`.
+    """
+    trace = _require_trace(result)
+    if not trace or result.makespan <= 0:
+        return "(empty trace)"
+    width = max(10, width)
+
+    rows: dict[tuple[int, int], list[tuple]] = {}
+    for tid, proc, lane, start, end in assign_lanes(trace):
+        rows.setdefault((proc, lane), []).append((tid, start, end))
+
+    dt = result.makespan / width
+    out = []
+    for (proc, lane) in sorted(rows)[:max_rows]:
+        cells = ["."] * width
+        for tid, start, end in rows[(proc, lane)]:
+            glyph = _GLYPH.get(_kind_value(tid), "#")
+            c0 = min(int(start / dt), width - 1)
+            c1 = min(int(max(end - 1e-15, start) / dt), width - 1)
+            for c in range(c0, c1 + 1):
+                cells[c] = glyph
+        out.append(f"p{proc:<3}c{lane:<3}|" + "".join(cells) + "|")
+    if len(rows) > max_rows:
+        out.append(f"... ({len(rows) - max_rows} more lanes)")
+    out.append(
+        f"0{'':.<{width - 2}}{result.makespan:.3g}s   "
+        "P=potrf T=trsm S=syrk g=gemm .=idle"
+    )
+    return "\n".join(out)
+
+
+def utilization_timeline(result, *, buckets: int = 60):
+    """Busy-core count per time bucket for a tuple-trace result.
+
+    Returns
+    -------
+    (times, busy):
+        Bucket midpoints and the average number of busy cores in each.
+
+    Raises :class:`ValueError` when the result carries no trace.
+    """
+    trace = _require_trace(result)
+    buckets = max(1, buckets)
+    edges = np.linspace(0.0, max(result.makespan, 1e-300), buckets + 1)
+    busy = np.zeros(buckets)
+    for _, _, start, end in trace:
+        if end <= start:
+            continue
+        lo = np.searchsorted(edges, start, side="right") - 1
+        hi = np.searchsorted(edges, end, side="left")
+        for bkt in range(max(lo, 0), min(hi, buckets)):
+            overlap = min(end, edges[bkt + 1]) - max(start, edges[bkt])
+            if overlap > 0:
+                busy[bkt] += overlap / (edges[bkt + 1] - edges[bkt])
+    mids = 0.5 * (edges[:-1] + edges[1:])
+    return mids, busy
+
+
+# ----------------------------------------------------------------------
 # Chrome trace
 # ----------------------------------------------------------------------
 def _chrome_events_from_result(result) -> tuple[list[dict], dict]:
     """Events from a ``SimResult``/``ParallelExecutionReport`` trace.
 
     Processes map to pids, greedily reconstructed core lanes to tids
-    (via :func:`assign_lanes`, shared with :func:`repro.analysis.gantt.gantt`).
+    (via :func:`assign_lanes`, shared with :func:`gantt`).
     """
     events = []
     for tid, proc, lane, start, end in assign_lanes(result.trace):

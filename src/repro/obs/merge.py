@@ -1,0 +1,263 @@
+"""Cross-rank trace-shard aggregation (``repro.obs.merge``).
+
+The distributed executor's ranks are separate processes with separate
+clocks: each one (when launched with ``shard_dir``) performs an
+NTP-style handshake with the controller at startup — send ``t_send``,
+receive the controller's ``t_ctrl``, timestamp the reply ``t_recv`` —
+yielding a clock-offset estimate::
+
+    offset = t_ctrl - (t_send + t_recv) / 2        rtt = t_recv - t_send
+
+and then writes ``shard-rank<R>.json``: its task spans, its realized
+communication events (every wire hop it sent, every tile arrival), a
+task-duration :class:`~repro.obs.sketch.LogHistogram`, and the offset.
+
+:func:`merge_shards` (behind ``python -m repro obs-merge``, and run
+automatically by the controller) aligns every shard onto the
+controller clock (``t_aligned = t_local + offset``) and emits **one**
+Chrome trace:
+
+* per-rank process groups (``pid`` = rank) with greedy compute lanes
+  from :func:`~repro.obs.exporters.assign_lanes` plus one ``comm`` lane;
+* realized comm edges as Chrome flow events (``ph: s``/``f``) from each
+  send hop to its matched arrival — the visual of the Section VII-A
+  broadcast trees actually taken, not modelled;
+* the rank sketches merged (exact integer merge) into run-wide task
+  percentiles in ``otherData``.
+
+The :class:`MergeReport` carries a **span-conservation check** — merged
+span count must equal the sum of the shard span counts — which the CLI
+and CI gate on: a merge that drops or duplicates work fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .exporters import assign_lanes
+from .sketch import LogHistogram
+
+__all__ = ["MergeReport", "load_shards", "merge_shards", "SHARD_PATTERN"]
+
+SHARD_PATTERN = "shard-rank*.json"
+_RANK_RE = re.compile(r"shard-rank(\d+)\.json$")
+
+
+@dataclass
+class MergeReport:
+    """What :func:`merge_shards` did, and whether it conserved spans."""
+
+    n_shards: int = 0
+    shard_spans: dict[int, int] = field(default_factory=dict)
+    merged_spans: int = 0
+    offsets_s: dict[int, float] = field(default_factory=dict)
+    rtts_s: dict[int, float] = field(default_factory=dict)
+    comm_edges: int = 0
+    comm_unmatched: int = 0
+    makespan_s: float = 0.0
+    task_percentiles: dict[str, float] = field(default_factory=dict)
+    out_path: Path | None = None
+
+    @property
+    def conserved(self) -> bool:
+        """Merged span count == Σ per-shard span counts."""
+        return self.merged_spans == sum(self.shard_spans.values())
+
+    def summary(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "shard_spans": dict(self.shard_spans),
+            "merged_spans": self.merged_spans,
+            "conserved": self.conserved,
+            "offsets_s": {r: round(o, 6) for r, o in self.offsets_s.items()},
+            "rtts_s": {r: round(o, 6) for r, o in self.rtts_s.items()},
+            "comm_edges": self.comm_edges,
+            "comm_unmatched": self.comm_unmatched,
+            "makespan_s": round(self.makespan_s, 6),
+            "task_percentiles": {
+                k: round(v, 9) for k, v in self.task_percentiles.items()
+            },
+            "out": None if self.out_path is None else str(self.out_path),
+        }
+
+
+def load_shards(indir: str | Path) -> list[dict]:
+    """Load and validate every ``shard-rank<R>.json`` under ``indir``.
+
+    Raises :class:`ValueError` when the directory holds no shards, a
+    filename rank disagrees with the shard's recorded rank, or two
+    shards claim the same rank.
+    """
+    indir = Path(indir)
+    paths = sorted(indir.glob(SHARD_PATTERN))
+    if not paths:
+        raise ValueError(f"no {SHARD_PATTERN} shards found in {indir}")
+    shards: dict[int, dict] = {}
+    for path in paths:
+        m = _RANK_RE.search(path.name)
+        if m is None:  # glob matched something like shard-rankX.json
+            raise ValueError(f"unparseable shard filename {path.name!r}")
+        fname_rank = int(m.group(1))
+        try:
+            shard = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path.name} is not valid JSON: {exc}") from None
+        rank = shard.get("rank")
+        if rank != fname_rank:
+            raise ValueError(
+                f"{path.name} records rank {rank!r}, expected {fname_rank}"
+            )
+        if rank in shards:
+            raise ValueError(f"duplicate shard for rank {rank}")
+        shards[rank] = shard
+    return [shards[r] for r in sorted(shards)]
+
+
+def merge_shards(
+    indir: str | Path,
+    out: str | Path | None = None,
+) -> MergeReport:
+    """Clock-align and merge rank shards into one Chrome trace.
+
+    Writes ``trace_merged.json`` into ``indir`` (or ``out``) and returns
+    the :class:`MergeReport`; callers decide whether a failed
+    conservation check is fatal (the CLI and the controller's CI gate
+    treat it as such).
+    """
+    indir = Path(indir)
+    shards = load_shards(indir)
+    report = MergeReport(n_shards=len(shards))
+
+    events: list[dict] = []
+    sketch: LogHistogram | None = None
+    sends: dict[tuple[str, int], dict] = {}
+    recvs: list[tuple[int, str, float]] = []
+    t_end = 0.0
+
+    for shard in shards:
+        rank = int(shard["rank"])
+        offset = float(shard.get("clock", {}).get("offset_s", 0.0))
+        report.offsets_s[rank] = offset
+        report.rtts_s[rank] = float(shard.get("clock", {}).get("rtt_s", 0.0))
+        spans = shard.get("spans", [])
+        report.shard_spans[rank] = len(spans)
+
+        rows = [
+            (i, rank, s["start"] + offset, s["end"] + offset)
+            for i, s in enumerate(spans)
+        ]
+        lanes: dict[int, int] = {}
+        n_lanes = 0
+        for i, _rank, lane, _start, _end in assign_lanes(rows):
+            lanes[i] = lane
+            n_lanes = max(n_lanes, lane + 1)
+
+        events.append({
+            "name": "process_name", "ph": "M", "pid": rank, "tid": 0,
+            "args": {"name": f"rank {rank}"},
+        })
+        for lane in range(n_lanes):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": rank, "tid": lane,
+                "args": {"name": f"compute-{lane}"},
+            })
+        comm_lane = max(n_lanes, 1)
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": rank, "tid": comm_lane,
+            "args": {"name": "comm"},
+        })
+
+        for i, span in enumerate(spans):
+            start = span["start"] + offset
+            end = span["end"] + offset
+            t_end = max(t_end, end)
+            events.append({
+                "name": span["name"],
+                "cat": span.get("kind", "task"),
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": max(end - start, 0.0) * 1e6,
+                "pid": rank,
+                "tid": lanes[i],
+                "args": {
+                    "rank": rank,
+                    "kernel": span.get("kernel"),
+                    "flops": span.get("flops"),
+                },
+            })
+
+        comm = shard.get("comm", {})
+        for s in comm.get("sends", []):
+            sends[(s["task"], int(s["dst"]))] = {
+                "rank": rank, "t": s["t"] + offset, "tid": comm_lane,
+            }
+        for r in comm.get("recvs", []):
+            recvs.append((rank, r["task"], r["t"] + offset))
+
+        sk_doc = shard.get("sketch")
+        if sk_doc is not None:
+            sk = LogHistogram.from_dict(sk_doc)
+            sketch = sk if sketch is None else sketch.merge(sk)
+
+    # Realized comm edges: each arrival pairs with the wire hop that
+    # targeted this rank (hops are unique per (task, destination) —
+    # every rank receives each remote tile exactly once).
+    comm_lanes = {
+        e["pid"]: e["tid"] for e in events
+        if e["ph"] == "M" and e.get("args", {}).get("name") == "comm"
+    }
+    flow_id = 0
+    for rank, task, t_recv in sorted(recvs, key=lambda r: r[2]):
+        send = sends.get((task, rank))
+        if send is None:
+            report.comm_unmatched += 1
+            continue
+        flow_id += 1
+        report.comm_edges += 1
+        events.append({
+            "name": f"comm:{task}", "cat": "comm", "ph": "s",
+            "id": flow_id, "ts": send["t"] * 1e6,
+            "pid": send["rank"], "tid": send["tid"],
+        })
+        events.append({
+            "name": f"comm:{task}", "cat": "comm", "ph": "f", "bp": "e",
+            "id": flow_id, "ts": max(t_recv, send["t"]) * 1e6,
+            "pid": rank, "tid": comm_lanes.get(rank, 0),
+        })
+
+    report.merged_spans = sum(
+        1 for e in events if e["ph"] == "X"
+    )
+    report.makespan_s = t_end
+    if sketch is not None and sketch.count:
+        report.task_percentiles = sketch.percentiles()
+
+    doc = {
+        "traceEvents": sorted(events, key=lambda e: (e.get("ts", -1.0))),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "n_shards": report.n_shards,
+            "shard_spans": {
+                str(r): c for r, c in report.shard_spans.items()
+            },
+            "merged_spans": report.merged_spans,
+            "conserved": report.conserved,
+            "offsets_s": {
+                str(r): o for r, o in report.offsets_s.items()
+            },
+            "comm_edges": report.comm_edges,
+            "comm_unmatched": report.comm_unmatched,
+            "makespan_s": report.makespan_s,
+            "task_percentiles": report.task_percentiles,
+        },
+    }
+    out_path = Path(out) if out is not None else indir / "trace_merged.json"
+    if out_path.suffix != ".json":
+        out_path = out_path.with_suffix(out_path.suffix + ".json")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc))
+    report.out_path = out_path
+    return report

@@ -177,6 +177,7 @@ class _RankConfig:
     deadline: float | None
     attempt: int
     chaos_kill: tuple[int, int] | None
+    shard_dir: str | None = None
 
 
 class _Aborted(Exception):
@@ -269,6 +270,13 @@ def _rank_body(cfg: _RankConfig, inboxes, results, abort) -> dict:
     arrived: set[TaskId] = set()
     trace: list[tuple] = []
     busy = 0.0
+    # Shard telemetry (only when the controller asked for obs shards):
+    # clock_sync holds the NTP-style handshake result; comm events are
+    # recorded per wire hop so the merger can draw realized edges.
+    sharding = cfg.shard_dir is not None
+    clock_sync: dict[str, float] = {}
+    comm_sends: list[dict] = []
+    comm_recvs: list[dict] = []
     kill_budget = None
     if cfg.chaos_kill is not None and cfg.attempt == 0 and \
             cfg.chaos_kill[0] == me:
@@ -292,13 +300,29 @@ def _rank_body(cfg: _RankConfig, inboxes, results, abort) -> dict:
             return False
         if msg[0] == "stop":  # only sent after we report done
             return False
+        if msg[0] == "sync_reply":
+            _, t_echo, t_ctrl = msg
+            t_recv = time.time()
+            clock_sync["offset_s"] = t_ctrl - (t_echo + t_recv) / 2.0
+            clock_sync["rtt_s"] = t_recv - t_echo
+            return True
         _, src_tid, ij, tile, subtree = msg
         for child, sub in binomial_children(list(subtree)):
             inboxes[child].put(("tile", src_tid, ij, tile, sub))
             comm["wire_messages"] += 1
             comm["wire_bytes"] += _tile_nbytes(tile)
+            if sharding:
+                comm_sends.append({
+                    "task": task_name(src_tid), "dst": child,
+                    "t": time.time() - cfg.t0_wall,
+                })
         store.set_tile(*ij, tile)
         arrived.add(src_tid)
+        if sharding:
+            comm_recvs.append({
+                "task": task_name(src_tid),
+                "t": time.time() - cfg.t0_wall,
+            })
         return True
 
     def _send_output(tid) -> None:
@@ -320,6 +344,11 @@ def _rank_body(cfg: _RankConfig, inboxes, results, abort) -> dict:
             inboxes[child].put(("tile", tid, task.out_tile, tile, sub))
             comm["wire_messages"] += 1
             comm["wire_bytes"] += _tile_nbytes(tile)
+            if sharding:
+                comm_sends.append({
+                    "task": task_name(tid), "dst": child,
+                    "t": time.time() - cfg.t0_wall,
+                })
 
     # Consumers already restored from a checkpoint must not be re-sent
     # to; my own completed set grows during the run but remote-dest
@@ -336,6 +365,16 @@ def _rank_body(cfg: _RankConfig, inboxes, results, abort) -> dict:
             panel_remaining[p] = panel_remaining.get(p, 0) + 1
 
     try:
+        if sharding:
+            # NTP-style clock handshake: the controller echoes our send
+            # timestamp with its own clock reading; the midpoint estimate
+            # puts this rank's timeline on the controller clock for the
+            # shard merger.  Early tile arrivals are handled by the same
+            # _pump the wait loop spins on.
+            results.put(("sync", me, time.time()))
+            while "offset_s" not in clock_sync:
+                _pump(block=True)
+
         # Resume: re-publish the final tile versions that restored-away
         # consumers on other ranks still need (the checkpoint frontier
         # is a per-rank-consistent cut; remote payloads are final tile
@@ -416,6 +455,10 @@ def _rank_body(cfg: _RankConfig, inboxes, results, abort) -> dict:
         if manager is not None:
             manager.close()
 
+    if sharding:
+        _write_shard(cfg, graph, trace, clock_sync, comm_sends, comm_recvs,
+                     comm, busy)
+
     resilience = manager.report if manager is not None else None
     return {
         "rank": me,
@@ -434,6 +477,53 @@ def _rank_body(cfg: _RankConfig, inboxes, results, abort) -> dict:
         "resilience": resilience,
         "pool_stats": report.pool.stats,
     }
+
+
+def _write_shard(
+    cfg, graph, trace, clock_sync, comm_sends, comm_recvs, comm, busy
+) -> None:
+    """Write this rank's obs shard (``shard-rank<R>.json``).
+
+    Each rank persists its own telemetry — task spans with kernel/flop
+    annotations, realized per-hop comm events, the controller-clock
+    offset from the startup handshake, and a task-duration sketch — for
+    :func:`repro.obs.merge.merge_shards` to align and fuse.
+    """
+    import json
+    from pathlib import Path
+
+    from ..obs.sketch import LogHistogram
+
+    sk = LogHistogram()
+    spans = []
+    for tid, _r, start, end in trace:
+        task = graph.tasks[tid]
+        spans.append({
+            "name": task_name(tid),
+            "kind": task.kind.value,
+            "kernel": task.kernel.value,
+            "flops": task.flops,
+            "start": start,
+            "end": end,
+        })
+        sk.add(end - start)
+    doc = {
+        "rank": cfg.rank,
+        "n_ranks": cfg.n_ranks,
+        "clock": clock_sync,
+        "spans": spans,
+        "comm": {"sends": comm_sends, "recvs": comm_recvs},
+        "counters": {
+            "tasks_executed": len(spans),
+            "busy_s": busy,
+            "wire_messages": comm["wire_messages"],
+            "wire_bytes": comm["wire_bytes"],
+        },
+        "sketch": sk.to_dict(),
+    }
+    outdir = Path(cfg.shard_dir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    (outdir / f"shard-rank{cfg.rank}.json").write_text(json.dumps(doc))
 
 
 @dataclass
@@ -464,6 +554,10 @@ class DistributedExecutionReport:
     rank_restarts:
         Times the controller relaunched the run after losing a rank
         process.
+    shard_merge:
+        The :class:`repro.obs.merge.MergeReport` from the automatic
+        cross-rank trace merge when the run was launched with
+        ``shard_dir``; ``None`` otherwise.
     """
 
     counter: FlopCounter = field(default_factory=FlopCounter)
@@ -485,6 +579,7 @@ class DistributedExecutionReport:
     wire_bytes: int = 0
     placement: dict = field(default_factory=dict)
     rank_restarts: int = 0
+    shard_merge: object | None = None
 
     @property
     def n_workers(self) -> int:
@@ -545,6 +640,7 @@ def execute_graph_distributed(
     resume: bool = False,
     timeout_s: float | None = 300.0,
     max_restarts: int = 2,
+    shard_dir=None,
     _chaos_kill: tuple[int, int] | None = None,
     _inline: bool = False,
 ) -> DistributedExecutionReport:
@@ -577,6 +673,14 @@ def execute_graph_distributed(
         restarts from the latest checkpoint when one exists (the
         controller's matrix is untouched until the final gather, so a
         from-scratch restart is equally safe).
+    shard_dir:
+        Directory for cross-rank obs shards.  When set, each rank
+        performs a clock-offset handshake with the controller, records
+        realized comm events, and writes ``shard-rank<R>.json`` there;
+        after a successful run the controller merges the shards into
+        ``trace_merged.json`` (:func:`repro.obs.merge.merge_shards`) and
+        attaches the :class:`~repro.obs.merge.MergeReport` as
+        ``report.shard_merge``.
     _chaos_kill:
         Test hook ``(rank, after_n_tasks)``: that rank hard-exits after
         committing N tasks on the first attempt — exercises the
@@ -687,7 +791,7 @@ def execute_graph_distributed(
                 completed0, resend, rule, backend_obj.name, use_pool,
                 faults, recovery, ckptr, panel_tasks, rrep, report,
                 collect_trace or observing, timeout_s,
-                _chaos_kill, restarts, _inline,
+                _chaos_kill, restarts, _inline, shard_dir,
             )
         except _RankDied as died:
             restarts += 1
@@ -712,6 +816,20 @@ def execute_graph_distributed(
         if rrep is not None:
             rrep.checkpoints_written += 1
 
+    if shard_dir is not None:
+        # Controller-side auto-merge: align rank clocks and fuse the
+        # shards into one Chrome trace.  Callers (and the CI smoke
+        # lane) gate on report.shard_merge.conserved.
+        from ..obs.merge import merge_shards
+
+        report.shard_merge = merge_shards(shard_dir)
+        obs.event(
+            "shards_merged", "obs",
+            n_shards=report.shard_merge.n_shards,
+            merged_spans=report.shard_merge.merged_spans,
+            conserved=report.shard_merge.conserved,
+        )
+
     if not collect_trace:
         report.trace = None
 
@@ -735,6 +853,7 @@ def _run_once(
     graph, matrix, dist, placement, n_ranks, completed0, resend,
     rule, backend_name, use_pool, faults, recovery, ckptr, panel_tasks,
     rrep, report, collect_trace, timeout_s, chaos_kill, attempt, inline,
+    shard_dir=None,
 ) -> None:
     """One launch-collect-gather attempt; raises ``_RankDied`` on loss."""
     t0_wall = time.time()
@@ -755,6 +874,7 @@ def _run_once(
             ckpt_every=None if ckptr is None else ckptr.config.every,
             collect_trace=collect_trace, t0_wall=t0_wall,
             deadline=deadline, attempt=attempt, chaos_kill=chaos_kill,
+            shard_dir=None if shard_dir is None else str(shard_dir),
         )
 
     if inline:
@@ -820,6 +940,11 @@ def _run_once(
                 payloads[msg[1]] = msg[2]
             elif kind == "error":
                 error = (msg[1], msg[2])
+            elif kind == "sync":
+                # Clock handshake: echo the rank's send timestamp with
+                # the controller clock; the rank midpoints the exchange
+                # into its shard's offset estimate.
+                inboxes[msg[1]].put(("sync_reply", msg[2], time.time()))
             elif kind == "panel" and ckptr is not None:
                 latest_shard[msg[1]] = msg[3]
                 union = set(completed0)

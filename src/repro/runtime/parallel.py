@@ -20,8 +20,8 @@ compared queue-for-queue.
 Each worker records per-task start/end timestamps; the resulting report
 quacks like a :class:`~repro.runtime.simulator.SimResult` (``trace``,
 ``makespan``, ``busy``, ``occupancy``) so the existing analysis pipeline —
-:func:`repro.analysis.gantt.gantt`, :func:`repro.analysis.occupancy_summary`,
-:func:`repro.analysis.tracing.export_chrome_trace` — consumes real
+:func:`repro.obs.exporters.gantt`, :func:`repro.analysis.occupancy_summary`,
+:func:`repro.obs.exporters.write_chrome_trace` — consumes real
 executions exactly as it consumes simulated ones.
 
 Resilience (same kwargs as the sequential executor): ``faults`` and
@@ -227,8 +227,8 @@ def execute_graph_parallel(
         ``"fifo"`` (become-ready order) or ``"lifo"`` (newest first).
     collect_trace:
         Record per-task ``(tid, worker, start, end)`` tuples in seconds
-        relative to launch — consumable by ``gantt`` and
-        ``export_chrome_trace`` exactly like a simulator trace.  In
+        relative to launch — consumable by ``obs.gantt`` and
+        ``obs.write_chrome_trace`` exactly like a simulator trace.  In
         batched mode fused windows are apportioned to member tasks by
         modelled flops.
     batch:

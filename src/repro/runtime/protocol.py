@@ -153,11 +153,13 @@ class ProcessExecutor(Executor):
     name = "processes"
 
     def __init__(self, n_ranks: int | None = None, distribution=None,
-                 timeout_s: float | None = 300.0, max_restarts: int = 2):
+                 timeout_s: float | None = 300.0, max_restarts: int = 2,
+                 shard_dir=None):
         self.n_ranks = n_ranks
         self.distribution = distribution
         self.timeout_s = timeout_s
         self.max_restarts = max_restarts
+        self.shard_dir = shard_dir
 
     def execute(self, graph, matrix, *, rule=None, use_pool=True,
                 backend=None, batch=False, collect_trace=False, faults=None,
@@ -175,6 +177,7 @@ class ProcessExecutor(Executor):
             collect_trace=collect_trace, backend=backend, faults=faults,
             recovery=recovery, checkpoint=checkpoint, resume=resume,
             timeout_s=self.timeout_s, max_restarts=self.max_restarts,
+            shard_dir=self.shard_dir,
         )
         return ExecutorRun(executor=self.name, report=report)
 

@@ -16,6 +16,13 @@ not an anecdote.  This module is that harness:
   collected client-side and summarized as p50/p95/p99 — medians for the
   typical request, tails for what batching and admission control do
   under load;
+* **bounded-memory streaming stats**: every client-observed latency is
+  also folded into a :class:`~repro.obs.sketch.LogHistogram`
+  (``report.sketch``) and — when the service carries a live aggregator —
+  streamed as ``client_latency_s``, so long-running load keeps a live
+  p50/p95/p99 without the raw list being required for them (the raw
+  ``times_s`` path stays, for ``BenchRecord``/``repro compare``
+  compatibility);
 * **history records**: :func:`records_from_load` converts a report into
   :class:`repro.perf.BenchRecord` rows whose ``times_s`` are the raw
   latency samples, so the median *is* the p50 and the IQR travels with
@@ -32,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.sketch import LogHistogram
 from ..utils.exceptions import DeadlineExceededError, QueueFullError
 from .server import ServiceSession, percentiles
 
@@ -62,6 +70,7 @@ class LoadReport:
     factorizations: int = 0
     warm_starts: int = 0
     latencies_s: tuple = field(default_factory=tuple, repr=False)
+    sketch: LogHistogram | None = field(default=None, repr=False)
 
     @property
     def throughput_rps(self) -> float:
@@ -94,6 +103,8 @@ def run_load(
     session.warm()
     n = session.recipe.problem.n
     report = LoadReport(clients=clients, requests_per_client=requests_per_client)
+    report.sketch = LogHistogram()
+    live = getattr(session.service, "live", None)
     lock = threading.Lock()
     latencies: list[float] = []
 
@@ -123,9 +134,13 @@ def run_load(
                     report.failed += 1
                 done += 1
                 continue
+            latency = ticket.latency_s
+            report.sketch.add(latency)  # thread-safe streaming path
+            if live is not None:
+                live.emit_latency("client_latency_s", latency)
             with lock:
                 report.completed += 1
-                latencies.append(ticket.latency_s)
+                latencies.append(latency)
             done += 1
 
     threads = [

@@ -300,6 +300,7 @@ class SolverService:
         config: ServiceConfig | None = None,
         *,
         cache: FactorCache | None = None,
+        live=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.cache = cache or FactorCache(
@@ -318,19 +319,69 @@ class SolverService:
         self._stats_lock = threading.Lock()
         self._latencies: list[float] = []
         self._batch_widths: list[int] = []
+        self.live = live
+        self._worker_busy_s = [0.0] * self.config.n_workers
+        self._worker_t0: float | None = None
         self._install_obs_handlers()
+        if live is not None:
+            self._register_live_providers(live)
 
     # -- obs wiring ------------------------------------------------------
     def _install_obs_handlers(self) -> None:
-        """Queue-depth gauge + per-outcome counters, via db handlers."""
+        """Queue-depth gauge + per-outcome counters, via db handlers.
+
+        Every transition also streams to the live aggregator (when one
+        is attached) — a ring-buffer append, so the admission path never
+        blocks on the monitoring plane.
+        """
 
         def _on_transition(event, request, db) -> None:
             obs.counter_add(f"service_request_{event}")
             obs.gauge_set("service_queue_depth", db.depth())
+            live = self.live
+            if live is not None:
+                live.emit_counter(f"service_request_{event}")
+                live.emit_gauge("service_queue_depth", db.depth())
 
         for event in ("submitted", "rejected", "started",
                       "completed", "failed", "dropped"):
             self.db.on(event, _on_transition)
+
+    def _register_live_providers(self, live) -> None:
+        """Pull-side state for ``/stats``: cache, queues, occupancy."""
+
+        def _cache() -> dict:
+            cs = self.cache.stats()
+            return {
+                "hits": cs.hits,
+                "misses": cs.misses,
+                "evictions": cs.evictions,
+                "warm_starts": cs.warm_starts,
+                "factorizations": cs.factorizations,
+                "resident_bytes": cs.resident_bytes,
+                "hit_rate": round(cs.hit_rate, 4),
+            }
+
+        def _queue() -> dict:
+            return {
+                "depth": self.db.depth(),
+                "shards": [len(s.items) for s in self._shards],
+            }
+
+        def _workers() -> dict:
+            if self._worker_t0 is None:
+                return {"n_workers": self.config.n_workers, "occupancy": []}
+            up = max(time.monotonic() - self._worker_t0, 1e-9)
+            return {
+                "n_workers": self.config.n_workers,
+                "occupancy": [
+                    round(min(b / up, 1.0), 4) for b in self._worker_busy_s
+                ],
+            }
+
+        live.register_provider("cache", _cache)
+        live.register_provider("queue", _queue)
+        live.register_provider("workers", _workers)
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "SolverService":
@@ -339,6 +390,7 @@ class SolverService:
         if self._stopping:
             raise ServiceClosedError("service was stopped; build a new one")
         self._started = True
+        self._worker_t0 = time.monotonic()
         for wid in range(self.config.n_workers):
             t = threading.Thread(
                 target=self._worker, args=(wid,),
@@ -495,7 +547,10 @@ class SolverService:
                         return
                     continue
                 group = self._take_group_locked(shard)
+            t0 = time.monotonic()
             self._execute_group(group)
+            # own-slot write: occupancy accounting needs no lock
+            self._worker_busy_s[wid] += time.monotonic() - t0
 
     def _take_group_locked(self, shard: _Shard) -> list[SolveTicket]:
         """Pop the head request plus same-key followers, up to max_batch.
@@ -570,6 +625,12 @@ class SolverService:
             )
             obs.histogram_observe("service_request_latency_s", latency)
         obs.histogram_observe("service_batch_width", width)
+        live = self.live
+        if live is not None:
+            for latency in latencies:
+                live.emit_latency("service_latency_s", latency)
+            live.emit_counter("service_batches")
+            live.emit_gauge("service_batch_width", width)
         with self._stats_lock:
             self._latencies.extend(latencies)
             self._batch_widths.append(width)

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.analysis import export_chrome_trace
+from repro.obs import write_chrome_trace
 from repro.distribution import ProcessGrid, TwoDBlockCyclic
 from repro.runtime import (
     MachineSpec,
@@ -14,7 +14,6 @@ from repro.runtime import (
     measure_lr_efficiency,
     simulate,
 )
-from repro.utils import ConfigurationError
 
 
 class TestCalibration:
@@ -56,13 +55,13 @@ class TestChromeTrace:
 
     def test_event_per_task(self, traced, tmp_path):
         g, res = traced
-        p = export_chrome_trace(res, tmp_path / "t.json")
+        p = write_chrome_trace(res, tmp_path / "t.json")
         doc = json.loads(p.read_text())
         assert len(doc["traceEvents"]) == g.n_tasks
 
     def test_event_fields(self, traced, tmp_path):
         _, res = traced
-        doc = json.loads(export_chrome_trace(res, tmp_path / "t").read_text())
+        doc = json.loads(write_chrome_trace(res, tmp_path / "t").read_text())
         ev = doc["traceEvents"][0]
         assert ev["ph"] == "X"
         assert ev["dur"] >= 0
@@ -70,12 +69,12 @@ class TestChromeTrace:
 
     def test_metadata(self, traced, tmp_path):
         _, res = traced
-        doc = json.loads(export_chrome_trace(res, tmp_path / "t").read_text())
+        doc = json.loads(write_chrome_trace(res, tmp_path / "t").read_text())
         assert doc["otherData"]["nodes"] == 2
 
     def test_suffix_appended(self, traced, tmp_path):
         _, res = traced
-        assert export_chrome_trace(res, tmp_path / "noext").suffix == ".json"
+        assert write_chrome_trace(res, tmp_path / "noext").suffix == ".json"
 
     def test_requires_trace(self, traced, tmp_path):
         g, _ = traced
@@ -84,5 +83,5 @@ class TestChromeTrace:
             TwoDBlockCyclic(ProcessGrid.squarest(2)),
             MachineSpec(nodes=2, cores_per_node=2),
         )
-        with pytest.raises(ConfigurationError):
-            export_chrome_trace(res, tmp_path / "t.json")
+        with pytest.raises(ValueError):
+            write_chrome_trace(res, tmp_path / "t.json")

@@ -154,6 +154,35 @@ def test_tune_flags_agree_with_docs():
     assert "--config" in execute_flags
 
 
+def test_live_telemetry_flags_agree_with_docs():
+    """Both directions for the live monitoring plane: the serve
+    ``--listen``/``--slo``/``--linger`` flags, the ``top`` dashboard,
+    and the ``obs-merge`` shard merger exist on the parser and appear
+    in the docs corpus, with real demonstrated invocations."""
+    spec = _cli_spec()
+    assert {"--listen", "--slo", "--linger"} <= spec["serve"]
+    assert {"--interval", "--iterations", "--once"} <= spec["top"]
+    assert {"--out", "-o"} & spec["obs-merge"]
+    assert "--shards" in spec["execute"]
+
+    corpus = "\n".join(p.read_text() for p in DOC_FILES)
+    for sub in ("top", "obs-merge"):
+        for flag in spec[sub] - {"-h", "--help"}:
+            assert flag in corpus, f"`repro {sub} {flag}` is undocumented"
+    for flag in ("--listen", "--slo", "--linger", "--shards"):
+        assert flag in corpus, f"{flag} is undocumented"
+
+    invoked = set()
+    serve_flags = set()
+    for path in DOC_FILES:
+        for cmd, rest in _repro_invocations(path.read_text()):
+            invoked.add(cmd)
+            if cmd == "serve":
+                serve_flags |= set(re.findall(r"--[a-z][\w-]*", rest))
+    assert {"top", "obs-merge"} <= invoked
+    assert {"--listen", "--slo"} <= serve_flags
+
+
 def test_executor_flags_agree_with_docs():
     """The distributed-executor flags exist, with the documented choices,
     and the docs show them in actual invocations (not just prose)."""

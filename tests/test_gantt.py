@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.analysis import gantt, utilization_timeline
+from repro.obs import gantt, utilization_timeline
 from repro.distribution import ProcessGrid, TwoDBlockCyclic
 from repro.runtime import MachineSpec, build_cholesky_graph, simulate
-from repro.utils import ConfigurationError
 
 
 @pytest.fixture(scope="module")
@@ -42,7 +41,7 @@ class TestGantt:
             TwoDBlockCyclic(ProcessGrid.squarest(2)),
             MachineSpec(nodes=2, cores_per_node=2),
         )
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ValueError):
             gantt(no_trace)
 
     def test_max_rows_truncation(self, traced_result):
@@ -76,5 +75,5 @@ class TestUtilizationTimeline:
             TwoDBlockCyclic(ProcessGrid.squarest(2)),
             MachineSpec(nodes=2, cores_per_node=2),
         )
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ValueError):
             utilization_timeline(no_trace)

@@ -11,7 +11,6 @@ from repro.obs import MetricsRegistry, Observation, Tracer
 from repro.obs.exporters import prometheus_text, write_chrome_trace
 from repro.obs.report import load_summary, render_report
 from repro.obs.tracer import NULL_SPAN
-from repro.utils.exceptions import ConfigurationError
 
 
 # ----------------------------------------------------------------------
@@ -249,15 +248,6 @@ class TestExporters:
 
         with pytest.raises(ValueError):
             write_chrome_trace(NoTrace(), tmp_path / "n.json")
-
-    def test_analysis_tracing_still_raises_configuration_error(self, tmp_path):
-        from repro.analysis.tracing import export_chrome_trace
-
-        class NoTrace:
-            trace = None
-
-        with pytest.raises(ConfigurationError):
-            export_chrome_trace(NoTrace(), tmp_path / "x.json")
 
     def test_events_jsonl_roundtrip(self, tmp_path):
         run = self._observation()

@@ -8,8 +8,8 @@ import threading
 import numpy as np
 import pytest
 
-from repro.analysis import gantt, occupancy_summary
-from repro.analysis.tracing import export_chrome_trace
+from repro.analysis import occupancy_summary
+from repro.obs import gantt, write_chrome_trace
 from repro.core import TLRSolver, tlr_cholesky
 from repro.linalg.flops import KernelClass
 from repro.matrix import BandTLRMatrix
@@ -174,7 +174,7 @@ class TestAnalysisPipeline:
         rep = execute_graph_parallel(
             g, small_tlr, n_workers=2, collect_trace=True
         )
-        path = export_chrome_trace(rep, tmp_path / "real")
+        path = write_chrome_trace(rep, tmp_path / "real")
         doc = json.loads(path.read_text())
         assert len(doc["traceEvents"]) == g.n_tasks
         assert doc["otherData"]["nodes"] == 2

@@ -546,6 +546,47 @@ class TestLoadgen:
         assert record.config["completed"] == 6
         assert record.config["clients"] == 2
 
+    def test_sketch_tracks_exact_median(self, small_problem):
+        """The streaming sketch sees every client latency, and its p50
+        stays within one bucket's relative error of the exact median
+        computed from the raw samples."""
+        import numpy as np
+
+        with SolverService(ServiceConfig(n_workers=1, max_batch=8)) as svc:
+            session = svc.session(small_problem, accuracy=1e-6, band_size=1)
+            report = run_load(
+                session, clients=4, requests_per_client=5, seed=2
+            )
+        sk = report.sketch
+        assert sk is not None
+        assert sk.count == report.completed == len(report.latencies_s)
+        exact_p50 = float(np.percentile(report.latencies_s, 50))
+        # nearest-rank vs interpolated may differ by one order statistic;
+        # bound against the bracketing samples around the exact median.
+        ordered = sorted(report.latencies_s)
+        lo = max(v for v in ordered if v <= exact_p50)
+        hi = min(v for v in ordered if v >= exact_p50)
+        assert lo * (1 - sk.rel_err) <= sk.quantile(0.5) <= hi * (1 + sk.rel_err)
+
+    def test_client_latencies_stream_into_live_plane(self, small_problem):
+        from repro.obs import LiveAggregator
+
+        live = LiveAggregator()
+        with SolverService(ServiceConfig(n_workers=1), live=live) as svc:
+            session = svc.session(small_problem, accuracy=1e-6, band_size=1)
+            report = run_load(
+                session, clients=2, requests_per_client=3, seed=1
+            )
+        live.force_collect()
+        snap = live.snapshot()
+        assert snap["latency"]["client_latency_s"]["count"] == report.completed
+        # the service side streamed too: submit/complete counters + the
+        # registered providers
+        assert snap["counters"]["service_request_completed"] == report.completed
+        assert snap["providers"]["cache"]["factorizations"] == 1
+        assert snap["providers"]["workers"]["n_workers"] == 1
+        live.stop()
+
 
 # ---------------------------------------------------------------------------
 # CLI

@@ -4,7 +4,8 @@ study would actually use together."""
 
 import pytest
 
-from repro.analysis import gantt, occupancy_summary, paper_rank_model
+from repro.analysis import occupancy_summary, paper_rank_model
+from repro.obs import gantt
 from repro.core import tune_band_size
 from repro.distribution import BandDistribution, ProcessGrid
 from repro.linalg import KernelClass

@@ -1,0 +1,197 @@
+"""Property tests for the mergeable log-bucket sketch.
+
+The two claims the rest of the live-telemetry plane rests on:
+
+* **exact merge semantics** — bucket counters are integers, so merging
+  is associative and commutative byte-for-byte (thread shards, service
+  shards, and distributed ranks may fold in any order);
+* **bounded relative error** — every reported quantile is within the
+  configured ``rel_err`` *relative* error of the exact nearest-rank
+  order statistic.
+
+Both are checked with hypothesis over arbitrary sample sets, plus
+deterministic unit tests for the edge buckets (zero, overflow, empty).
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.sketch import DEFAULT_REL_ERR, LogHistogram
+
+# Positive latencies spanning the interesting range (sub-min_value and
+# above-max_value values are exercised by dedicated tests below).
+values = st.floats(min_value=1e-8, max_value=1e8, allow_nan=False,
+                   allow_infinity=False)
+value_lists = st.lists(values, min_size=1, max_size=200)
+
+
+def _sketch_of(samples, rel_err=DEFAULT_REL_ERR):
+    sk = LogHistogram(rel_err)
+    sk.extend(samples)
+    return sk
+
+
+def _exact_nearest_rank(samples, q):
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(value_lists, value_lists)
+    def test_merge_commutative(self, a, b):
+        ab = _sketch_of(a).merge(_sketch_of(b))
+        ba = _sketch_of(b).merge(_sketch_of(a))
+        np.testing.assert_array_equal(ab.counts, ba.counts)
+        assert ab.count == ba.count
+        assert ab.zero_count == ba.zero_count
+        assert ab.min == ba.min and ab.max == ba.max
+
+    @settings(max_examples=60, deadline=None)
+    @given(value_lists, value_lists, value_lists)
+    def test_merge_associative(self, a, b, c):
+        left = _sketch_of(a).merge(_sketch_of(b)).merge(_sketch_of(c))
+        right = _sketch_of(a).merge(_sketch_of(b).merge(_sketch_of(c)))
+        np.testing.assert_array_equal(left.counts, right.counts)
+        assert left.count == right.count
+        assert left.sum == pytest.approx(right.sum)
+
+    @settings(max_examples=40, deadline=None)
+    @given(value_lists, value_lists)
+    def test_merge_equals_union(self, a, b):
+        """Merging two shards is exactly the sketch of the union."""
+        merged = _sketch_of(a).merge(_sketch_of(b))
+        union = _sketch_of(a + b)
+        np.testing.assert_array_equal(merged.counts, union.counts)
+        assert merged.count == union.count
+
+    def test_merge_config_mismatch_raises(self):
+        with pytest.raises(ValueError, match="configs"):
+            LogHistogram(0.01).merge(LogHistogram(0.02))
+        with pytest.raises(ValueError, match="configs"):
+            LogHistogram(0.01).merge(LogHistogram(0.01, min_value=1e-6))
+
+
+class TestQuantileBound:
+    @settings(max_examples=80, deadline=None)
+    @given(value_lists)
+    def test_percentiles_within_documented_bound(self, samples):
+        sk = _sketch_of(samples)
+        for q in (0.5, 0.95, 0.99):
+            exact = _exact_nearest_rank(samples, q)
+            got = sk.quantile(q)
+            assert abs(got - exact) <= sk.rel_err * exact * (1 + 1e-9), (
+                f"q={q}: sketch {got} vs exact {exact}"
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(value_lists)
+    def test_tracks_numpy_percentile(self, samples):
+        """nearest-rank vs numpy's interpolated percentile differ by at
+        most one order statistic; the sketch must stay within rel_err of
+        the bracketing order statistics around numpy's answer."""
+        sk = _sketch_of(samples)
+        ordered = sorted(samples)
+        for p in (50.0, 95.0, 99.0):
+            ref = float(np.percentile(samples, p))
+            got = sk.percentile(p)
+            lo = min(v for v in ordered if v >= ref * (1 - 1e-12)) \
+                if any(v >= ref * (1 - 1e-12) for v in ordered) else ordered[-1]
+            hi_bound = max(ref, lo) * (1 + sk.rel_err) * (1 + 1e-9)
+            lo_bound = min(ref, min(ordered)) * (1 - sk.rel_err) * (1 - 1e-9)
+            assert lo_bound <= got <= hi_bound
+
+    @settings(max_examples=30, deadline=None)
+    @given(value_lists, st.floats(min_value=0.0, max_value=1.0))
+    def test_monotone_in_q(self, samples, q):
+        sk = _sketch_of(samples)
+        assert sk.quantile(q) <= sk.quantile(min(1.0, q + 0.1)) * (1 + 1e-12)
+
+    def test_exact_mean_and_extremes(self):
+        sk = _sketch_of([0.001, 0.002, 0.003])
+        assert sk.mean == pytest.approx(0.002)
+        assert sk.min == 0.001 and sk.max == 0.003
+
+
+class TestEdgeBuckets:
+    def test_empty_sketch(self):
+        sk = LogHistogram()
+        assert sk.count == 0
+        assert sk.quantile(0.5) == 0.0
+        assert sk.mean == 0.0
+
+    def test_sub_min_values_land_in_zero_bucket(self):
+        sk = LogHistogram(min_value=1e-6)
+        sk.add(0.0)
+        sk.add(1e-9)
+        assert sk.zero_count == 2
+        assert sk.quantile(0.5) == 0.0
+
+    def test_overflow_clamps_into_top_bucket(self):
+        sk = LogHistogram(max_value=10.0)
+        sk.add(1e6)
+        assert sk.overflow == 1
+        assert sk.count == 1
+        # clamped, not lost: the quantile reports ~max_value
+        assert sk.quantile(1.0) <= 10.0 * (1 + sk.rel_err)
+
+    def test_nan_and_negative_ignored(self):
+        sk = LogHistogram()
+        sk.add(float("nan"))
+        sk.add(-1.0)
+        sk.add(1.0, count=0)
+        assert sk.count == 0
+
+    def test_weighted_add(self):
+        sk = LogHistogram()
+        sk.add(0.5, count=7)
+        assert sk.count == 7 and sk.sum == pytest.approx(3.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LogHistogram(0.0)
+        with pytest.raises(ValueError):
+            LogHistogram(1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(min_value=2.0, max_value=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram().quantile(1.5)
+
+
+class TestSerialization:
+    @settings(max_examples=40, deadline=None)
+    @given(value_lists)
+    def test_dict_roundtrip_is_exact(self, samples):
+        sk = _sketch_of(samples)
+        back = LogHistogram.from_dict(json.loads(json.dumps(sk.to_dict())))
+        np.testing.assert_array_equal(back.counts, sk.counts)
+        assert back.count == sk.count
+        assert back.config == sk.config
+        for q in (0.5, 0.95, 0.99):
+            assert back.quantile(q) == sk.quantile(q)
+
+    def test_sparse_encoding(self):
+        sk = _sketch_of([0.001])
+        d = sk.to_dict()
+        assert len(d["buckets"]) == 1  # only the touched bucket
+
+    def test_empty_roundtrip(self):
+        back = LogHistogram.from_dict(LogHistogram().to_dict())
+        assert back.count == 0 and back.quantile(0.5) == 0.0
+
+    def test_copy_is_independent(self):
+        sk = _sketch_of([1.0])
+        cp = sk.copy()
+        cp.add(2.0)
+        assert sk.count == 1 and cp.count == 2
+
+    def test_percentiles_keys(self):
+        sk = _sketch_of([1.0, 2.0, 3.0])
+        assert set(sk.percentiles()) == {"p50", "p95", "p99"}
+        assert set(sk.percentiles((99.9,))) == {"p99.9"}
